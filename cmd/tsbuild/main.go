@@ -1,0 +1,65 @@
+// Command tsbuild constructs a TreeSketch synopsis from an XML document.
+//
+// Usage:
+//
+//	tsbuild -in xmark.xml -budget 50 -o xmark.syn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"treesketch/internal/stable"
+	"treesketch/internal/tsbuild"
+	"treesketch/internal/xmltree"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input XML document (required)")
+		budgetKB = flag.Int("budget", 50, "space budget in KB")
+		out      = flag.String("o", "", "output synopsis file (optional)")
+		uh       = flag.Int("uh", 10000, "candidate-pool upper bound Uh")
+		lh       = flag.Int("lh", 100, "candidate-pool lower bound Lh")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+
+	doc, err := xmltree.ParseFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("document:       %d elements\n", doc.Size())
+
+	t0 := time.Now()
+	st := stable.Build(doc)
+	fmt.Printf("stable summary: %d classes, %.1f KB (%.2fs)\n",
+		st.NumNodes(), float64(st.SizeBytes())/1024, time.Since(t0).Seconds())
+
+	sk, stats := tsbuild.Build(st, tsbuild.Options{
+		BudgetBytes: *budgetKB << 10,
+		HeapUpper:   *uh,
+		HeapLower:   *lh,
+	})
+	fmt.Printf("treesketch:     %d clusters, %.1f KB (budget %d KB, reached=%v)\n",
+		stats.FinalNodes, float64(stats.FinalBytes)/1024, *budgetKB, stats.BudgetReached)
+	fmt.Printf("construction:   %d merges, %d pool builds, %d pair evals, %.2fs\n",
+		stats.Merges, stats.PoolBuilds, stats.PairEvals, stats.Elapsed.Seconds())
+	fmt.Printf("squared error:  %.1f\n", stats.FinalSqErr)
+
+	if *out != "" {
+		if err := sk.SaveFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved:          %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tsbuild:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command tsexp regenerates the tables and figures of the paper's
+// experimental study (Section 6) on the synthesized datasets.
+//
+// Usage:
+//
+//	tsexp -run all
+//	tsexp -run table1,fig12 -tx-scale 100000 -workload 1000
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured outcomes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"treesketch/internal/exp"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated experiments: "+strings.Join(exp.ExperimentNames(), ","))
+		txScale  = flag.Int("tx-scale", 40000, "elements in the -TX documents (paper: ~100-180k)")
+		lgScale  = flag.Int("large-scale", 150000, "elements in the large documents (paper: 237k-2M)")
+		workload = flag.Int("workload", 100, "queries per evaluation workload (paper: 1000)")
+		budgets  = flag.String("budgets", "10,20,30,40,50", "synopsis budgets in KB")
+		xsw      = flag.Int("xs-workload", 100, "sample workload size for twig-XSketch construction")
+		seed     = flag.Int64("seed", 1, "run seed")
+		csvDir   = flag.String("csv", "", "directory for machine-readable CSV output (optional)")
+	)
+	flag.Parse()
+
+	var budgetList []int
+	for _, part := range strings.Split(*budgets, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fatal(fmt.Errorf("bad -budgets entry %q", part))
+		}
+		budgetList = append(budgetList, v)
+	}
+
+	cfg := exp.Config{
+		TXScale:      *txScale,
+		LargeScale:   *lgScale,
+		WorkloadSize: *workload,
+		BudgetsKB:    budgetList,
+		XSWorkload:   *xsw,
+		Seed:         *seed,
+		Out:          os.Stdout,
+	}
+	if err := exp.Run(strings.Split(*run, ","), cfg, *csvDir); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tsexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command tsinspect prints the contents of a saved TreeSketch synopsis:
+// summary statistics, per-label element totals, and (optionally) the full
+// node/edge dump.
+//
+// Usage:
+//
+//	tsinspect -in xmark.syn
+//	tsinspect -in xmark.syn -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"treesketch/internal/sketch"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "synopsis file written by tsbuild (required)")
+		dump = flag.Bool("dump", false, "print every node and edge")
+		top  = flag.Int("top", 10, "show the N labels with most elements")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	sk, err := sketch.LoadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("clusters:      %d\n", sk.NumNodes())
+	fmt.Printf("edges:         %d\n", sk.NumEdges())
+	fmt.Printf("size:          %.1f KB\n", float64(sk.SizeBytes())/1024)
+	fmt.Printf("elements:      %d\n", sk.TotalElements())
+	fmt.Printf("height:        %d\n", sk.Height())
+	fmt.Printf("squared error: %.1f\n", sk.SqErr())
+	fmt.Printf("root:          %s (cluster %d)\n", sk.Nodes[sk.Root].Label, sk.Root)
+
+	type lc struct {
+		label string
+		count int
+	}
+	counts := sk.LabelCounts()
+	list := make([]lc, 0, len(counts))
+	for l, c := range counts {
+		list = append(list, lc{l, c})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].count != list[j].count {
+			return list[i].count > list[j].count
+		}
+		return list[i].label < list[j].label
+	})
+	fmt.Printf("\ntop labels (%d of %d):\n", min(*top, len(list)), len(list))
+	for i := 0; i < len(list) && i < *top; i++ {
+		fmt.Printf("  %-20s %10d\n", list[i].label, list[i].count)
+	}
+
+	if *dump {
+		fmt.Println("\nnodes:")
+		fmt.Print(sk.Dump())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tsinspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command tsquery evaluates a twig query exactly over an XML document
+// and/or approximately over a TreeSketch synopsis, reporting selectivities,
+// the ESD between true and approximate answers, and timings.
+//
+// Usage:
+//
+//	tsquery -doc xmark.xml -query '//item[//keyword]{//name?}'
+//	tsquery -doc xmark.xml -synopsis xmark.syn -query '//person{//watch}'
+//	tsquery -doc xmark.xml -budget 20 -query '//item{//mail}' -preview 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"treesketch/internal/esd"
+	"treesketch/internal/eval"
+	"treesketch/internal/query"
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+	"treesketch/internal/tsbuild"
+	"treesketch/internal/xmltree"
+)
+
+func main() {
+	var (
+		docPath  = flag.String("doc", "", "XML document (required)")
+		synPath  = flag.String("synopsis", "", "TreeSketch synopsis file (optional; built on the fly otherwise)")
+		budgetKB = flag.Int("budget", 50, "budget in KB when building the synopsis on the fly")
+		qsrc     = flag.String("query", "", "twig query, e.g. //a[//b]{//p{//k?},//n?} (required)")
+		preview  = flag.Int("preview", 0, "print up to N nodes of the approximate answer")
+		exact    = flag.Bool("exact", true, "also evaluate exactly for comparison")
+		paper    = flag.Bool("paper", false, "evaluate with the paper's Figures 7/8 verbatim (disable refinements)")
+	)
+	flag.Parse()
+	if *docPath == "" || *qsrc == "" {
+		fatal(fmt.Errorf("-doc and -query are required"))
+	}
+
+	doc, err := xmltree.ParseFile(*docPath)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := query.Parse(*qsrc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("document: %d elements; query: %s (%d variables)\n", doc.Size(), q, q.NumVars())
+
+	var sk *sketch.Sketch
+	if *synPath != "" {
+		sk, err = sketch.LoadFile(*synPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		st := stable.Build(doc)
+		var stats tsbuild.Stats
+		sk, stats = tsbuild.Build(st, tsbuild.Options{BudgetBytes: *budgetKB << 10})
+		fmt.Printf("synopsis: built %.1f KB in %.2fs\n", float64(stats.FinalBytes)/1024, stats.Elapsed.Seconds())
+	}
+
+	t0 := time.Now()
+	approx := eval.Approx(sk, q, eval.Options{PaperMode: *paper})
+	approxTime := time.Since(t0)
+	if approx.Empty {
+		fmt.Printf("approximate answer: EMPTY (%.3fms)\n", ms(approxTime))
+	} else {
+		fmt.Printf("approximate answer: %d result clusters, est. selectivity %.1f (%.3fms)\n",
+			len(approx.Nodes), approx.Selectivity(), ms(approxTime))
+	}
+
+	if *exact {
+		t1 := time.Now()
+		ix := eval.NewIndex(doc)
+		ex := eval.Exact(ix, q)
+		exactTime := time.Since(t1)
+		if ex.Empty {
+			fmt.Printf("exact answer:       EMPTY (%.3fms)\n", ms(exactTime))
+		} else {
+			fmt.Printf("exact answer:       selectivity %.0f (%.3fms, %.0fx slower)\n",
+				ex.Tuples, ms(exactTime), float64(exactTime)/float64(approxTime))
+			d := esd.Distance(ex.ESDGraph(), approx.ESDGraph())
+			fmt.Printf("answer quality:     ESD = %.2f (0 = structurally exact)\n", d)
+		}
+	}
+
+	if *preview > 0 && !approx.Empty {
+		tree, err := approx.Expand(*preview)
+		if err != nil {
+			// Cap reached: show what fits.
+			fmt.Printf("preview truncated: %v\n", err)
+		}
+		if tree != nil && tree.Root != nil {
+			fmt.Println("approximate answer preview:")
+			tree.Write(os.Stdout)
+		}
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tsquery:", err)
+	os.Exit(1)
+}

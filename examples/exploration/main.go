@@ -1,0 +1,69 @@
+// Exploration: the paper's motivating scenario — an analyst explores a
+// large XML collection interactively. Queries run first against a small
+// TreeSketch for instant approximate previews; only when a preview looks
+// interesting is the exact query paid for. The example reports, per query,
+// the approximate and exact selectivities, the answer quality (ESD), and
+// the speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"treesketch"
+)
+
+func main() {
+	// A synthetic IMDB-like collection (stand-in for a large repository).
+	doc, err := treesketch.GenerateDataset("imdb", 120000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collection: %d elements\n", doc.Size())
+
+	// One-time cost: a 20KB synopsis of the whole collection.
+	t0 := time.Now()
+	syn, stats := treesketch.Build(doc, treesketch.BuildOptions{BudgetBytes: 20 << 10})
+	fmt.Printf("synopsis:   %.1f KB built in %v (%d clusters)\n\n",
+		float64(stats.FinalBytes)/1024, time.Since(t0).Round(time.Millisecond), stats.FinalNodes)
+
+	ix := treesketch.NewIndex(doc)
+
+	// An exploratory session: successively refined twig queries.
+	session := []string{
+		"//movie{//actor}",
+		"//movie[//rating]{//actor{/role?}}",
+		"//movie[//rating]{//keyword,//trivia?}",
+		"//show{//season{//episode}}",
+		"//show{//episode[/airdate]}",
+	}
+	for _, src := range session {
+		q, err := treesketch.ParseQuery(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		ta := time.Now()
+		approx := treesketch.EvaluateApprox(syn, q, treesketch.EvalOptions{})
+		approxTime := time.Since(ta)
+
+		te := time.Now()
+		exact := treesketch.EvaluateExact(ix, q)
+		exactTime := time.Since(te)
+
+		speedup := float64(exactTime) / float64(approxTime)
+		fmt.Printf("query: %s\n", q)
+		if approx.Empty {
+			fmt.Printf("  preview: EMPTY in %v\n", approxTime.Round(time.Microsecond))
+		} else {
+			fmt.Printf("  preview: ~%.0f tuples in %v  (exact: %.0f in %v, %.0fx slower)\n",
+				approx.Selectivity(), approxTime.Round(time.Microsecond),
+				exact.Tuples, exactTime.Round(time.Microsecond), speedup)
+			fmt.Printf("  answer quality: ESD %.1f; relative selectivity error %.1f%%\n",
+				treesketch.AnswerDistance(exact, approx),
+				100*treesketch.RelativeError(exact.Tuples, approx.Selectivity(), 1))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: parse a document, build a TreeSketch, and get an approximate
+// answer with a selectivity estimate — the full pipeline in one page.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"treesketch"
+)
+
+const doc = `<bib>
+  <author><name/><paper><title/><year/><keyword/><keyword/></paper>
+          <paper><title/><year/><keyword/></paper><book><title/></book></author>
+  <author><name/><paper><title/><year/><keyword/></paper></author>
+  <author><name/><book><title/></book></author>
+  <author><name/><paper><title/><year/><keyword/><keyword/><keyword/></paper></author>
+</bib>`
+
+func main() {
+	// 1. Parse the document (only the element structure is kept).
+	d, err := treesketch.ParseXMLString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document: %d elements, height %d\n", d.Size(), d.Height())
+
+	// 2. Build a TreeSketch synopsis within a space budget. For this tiny
+	// document the budget is generous, so the synopsis is lossless.
+	syn, stats := treesketch.Build(d, treesketch.BuildOptions{BudgetBytes: 4096})
+	fmt.Printf("synopsis: %d clusters, %d bytes, squared error %.1f\n",
+		stats.FinalNodes, stats.FinalBytes, stats.FinalSqErr)
+
+	// 3. Ask a twig query: authors who wrote a book, with their papers'
+	// keywords and their name (the paper's Figure 2 query shape).
+	q, err := treesketch.ParseQuery("//author[//book]{//paper{//keyword?},//name?}")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query:    %s\n", q)
+
+	// 4. Approximate answer from the synopsis alone.
+	approx := treesketch.EvaluateApprox(syn, q, treesketch.EvalOptions{})
+	fmt.Printf("estimated selectivity: %.1f binding tuples\n", approx.Selectivity())
+
+	// 5. Compare against the exact answer.
+	exact := treesketch.EvaluateExact(treesketch.NewIndex(d), q)
+	fmt.Printf("true selectivity:      %.0f binding tuples\n", exact.Tuples)
+	fmt.Printf("answer ESD:            %.2f (0 means structurally exact)\n",
+		treesketch.AnswerDistance(exact, approx))
+
+	// 6. Materialize the approximate answer as an XML preview.
+	preview, err := approx.Expand(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("approximate answer preview:")
+	preview.Write(os.Stdout)
+}

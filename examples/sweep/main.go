@@ -1,0 +1,65 @@
+// Sweep: how much synopsis is enough? A data engineer provisioning an
+// approximate-answering tier needs the budget/quality curve for their
+// collection. This example builds TreeSketches of an XMark-like document
+// at increasing budgets and reports, per budget: construction time,
+// squared clustering error, average selectivity error, and average answer
+// ESD over a query workload — the trade-off curve behind the paper's
+// Figures 11-13.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"treesketch"
+)
+
+func main() {
+	doc, err := treesketch.GenerateDataset("xmark", 60000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := treesketch.BuildStable(doc)
+	fmt.Printf("collection: %d elements; lossless stable summary %.1f KB\n\n",
+		doc.Size(), float64(st.SizeBytes())/1024)
+
+	ix := treesketch.NewIndex(doc)
+	queries := treesketch.GenerateWorkload(st, 40, treesketch.WorkloadOptions{Seed: 4})
+
+	type truth struct {
+		q      *treesketch.Query
+		exact  *treesketch.ExactResult
+		tuples float64
+	}
+	var workload []truth
+	for _, q := range queries {
+		ex := treesketch.EvaluateExact(ix, q)
+		if !ex.Empty {
+			workload = append(workload, truth{q, ex, ex.Tuples})
+		}
+	}
+	fmt.Printf("workload: %d non-empty twig queries\n\n", len(workload))
+	fmt.Printf("%-12s %10s %12s %12s %14s %12s\n",
+		"Budget(KB)", "Size(KB)", "Build", "SqErr", "SelErr(avg%)", "ESD(avg)")
+
+	for _, budgetKB := range []int{2, 5, 10, 20, 40, 80} {
+		t0 := time.Now()
+		syn, stats := treesketch.BuildFromStable(st, treesketch.BuildOptions{BudgetBytes: budgetKB << 10})
+		build := time.Since(t0)
+
+		var selErr, esdSum float64
+		for _, w := range workload {
+			approx := treesketch.EvaluateApprox(syn, w.q, treesketch.EvalOptions{})
+			selErr += treesketch.RelativeError(w.tuples, approx.Selectivity(), 1)
+			esdSum += treesketch.AnswerDistance(w.exact, approx)
+		}
+		n := float64(len(workload))
+		fmt.Printf("%-12d %10.1f %12s %12.1f %14.2f %12.1f\n",
+			budgetKB, float64(stats.FinalBytes)/1024, build.Round(time.Millisecond),
+			stats.FinalSqErr, 100*selErr/n, esdSum/n)
+	}
+
+	fmt.Println("\nreading the curve: pick the smallest budget where SelErr and ESD")
+	fmt.Println("flatten out; past the stable-summary size every answer is exact.")
+}

@@ -1,0 +1,3 @@
+module treesketch
+
+go 1.22

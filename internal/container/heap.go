@@ -1,0 +1,176 @@
+// Package container provides the heap structures used by the TreeSketch
+// construction algorithm: a plain min-heap keyed by a float priority, and a
+// bounded double-ended heap that retains the k smallest items seen
+// (CreatePool, Figure 6 of the paper, keeps the best Uh candidate merges and
+// pops the worst when over capacity).
+package container
+
+// MinHeap is a binary min-heap of values of type T ordered by a float64
+// priority. The zero value is ready to use.
+type MinHeap[T any] struct {
+	items []heapItem[T]
+}
+
+type heapItem[T any] struct {
+	prio  float64
+	value T
+}
+
+// Len reports the number of items in the heap.
+func (h *MinHeap[T]) Len() int { return len(h.items) }
+
+// Push inserts value with the given priority.
+func (h *MinHeap[T]) Push(prio float64, value T) {
+	h.items = append(h.items, heapItem[T]{prio, value})
+	h.up(len(h.items) - 1)
+}
+
+// PopMin removes and returns the value with the smallest priority. The
+// second result is false when the heap is empty.
+func (h *MinHeap[T]) PopMin() (T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	top := h.items[0].value
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// PeekMin returns the smallest-priority value without removing it.
+func (h *MinHeap[T]) PeekMin() (T, float64, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	return h.items[0].value, h.items[0].prio, true
+}
+
+// Reset empties the heap, retaining allocated capacity.
+func (h *MinHeap[T]) Reset() { h.items = h.items[:0] }
+
+func (h *MinHeap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].prio <= h.items[i].prio {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *MinHeap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.items[l].prio < h.items[smallest].prio {
+			smallest = l
+		}
+		if r < n && h.items[r].prio < h.items[smallest].prio {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// BoundedMinSet retains at most Cap values with the smallest priorities seen.
+// It is the "double-ended heap" of CreatePool: pushes beyond capacity evict
+// the current maximum. Implemented as a max-heap of size <= Cap; Drain
+// returns the retained values.
+type BoundedMinSet[T any] struct {
+	cap   int
+	items []heapItem[T] // max-heap by prio
+}
+
+// NewBoundedMinSet returns a set retaining the capacity smallest items.
+// capacity must be positive.
+func NewBoundedMinSet[T any](capacity int) *BoundedMinSet[T] {
+	if capacity <= 0 {
+		panic("container: BoundedMinSet capacity must be positive")
+	}
+	return &BoundedMinSet[T]{cap: capacity}
+}
+
+// Len reports the number of retained items.
+func (s *BoundedMinSet[T]) Len() int { return len(s.items) }
+
+// Full reports whether the set holds its full capacity of items.
+func (s *BoundedMinSet[T]) Full() bool { return len(s.items) >= s.cap }
+
+// Push offers a value. If the set is at capacity and prio is not smaller
+// than the current maximum, the value is rejected and Push returns false.
+func (s *BoundedMinSet[T]) Push(prio float64, value T) bool {
+	if len(s.items) < s.cap {
+		s.items = append(s.items, heapItem[T]{prio, value})
+		s.up(len(s.items) - 1)
+		return true
+	}
+	if prio >= s.items[0].prio {
+		return false
+	}
+	s.items[0] = heapItem[T]{prio, value}
+	s.down(0)
+	return true
+}
+
+// MaxPrio returns the largest retained priority; valid only when Len > 0.
+func (s *BoundedMinSet[T]) MaxPrio() float64 {
+	if len(s.items) == 0 {
+		panic("container: MaxPrio on empty BoundedMinSet")
+	}
+	return s.items[0].prio
+}
+
+// Drain removes and returns all retained items with their priorities, in
+// unspecified order. The set is empty afterwards.
+func (s *BoundedMinSet[T]) Drain() ([]T, []float64) {
+	values := make([]T, len(s.items))
+	prios := make([]float64, len(s.items))
+	for i, it := range s.items {
+		values[i] = it.value
+		prios[i] = it.prio
+	}
+	s.items = s.items[:0]
+	return values, prios
+}
+
+func (s *BoundedMinSet[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.items[parent].prio >= s.items[i].prio {
+			return
+		}
+		s.items[parent], s.items[i] = s.items[i], s.items[parent]
+		i = parent
+	}
+}
+
+func (s *BoundedMinSet[T]) down(i int) {
+	n := len(s.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && s.items[l].prio > s.items[largest].prio {
+			largest = l
+		}
+		if r < n && s.items[r].prio > s.items[largest].prio {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.items[i], s.items[largest] = s.items[largest], s.items[i]
+		i = largest
+	}
+}

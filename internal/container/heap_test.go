@@ -1,0 +1,180 @@
+package container
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinHeapPopsInPriorityOrder(t *testing.T) {
+	var h MinHeap[string]
+	h.Push(3, "c")
+	h.Push(1, "a")
+	h.Push(2, "b")
+	h.Push(0.5, "z")
+	want := []string{"z", "a", "b", "c"}
+	for _, w := range want {
+		v, ok := h.PopMin()
+		if !ok || v != w {
+			t.Fatalf("PopMin = %q,%v; want %q", v, ok, w)
+		}
+	}
+	if _, ok := h.PopMin(); ok {
+		t.Fatal("PopMin on empty heap returned ok")
+	}
+}
+
+func TestMinHeapPeek(t *testing.T) {
+	var h MinHeap[int]
+	if _, _, ok := h.PeekMin(); ok {
+		t.Fatal("PeekMin on empty heap returned ok")
+	}
+	h.Push(5, 50)
+	h.Push(2, 20)
+	v, p, ok := h.PeekMin()
+	if !ok || v != 20 || p != 2 {
+		t.Fatalf("PeekMin = %d,%v,%v", v, p, ok)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Peek changed Len to %d", h.Len())
+	}
+}
+
+func TestMinHeapReset(t *testing.T) {
+	var h MinHeap[int]
+	h.Push(1, 1)
+	h.Push(2, 2)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+	h.Push(9, 9)
+	if v, _ := h.PopMin(); v != 9 {
+		t.Fatal("heap unusable after Reset")
+	}
+}
+
+func TestMinHeapRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var h MinHeap[float64]
+		n := rng.Intn(200)
+		prios := make([]float64, n)
+		for i := range prios {
+			prios[i] = rng.Float64()
+			h.Push(prios[i], prios[i])
+		}
+		sort.Float64s(prios)
+		for i := 0; i < n; i++ {
+			v, ok := h.PopMin()
+			if !ok || v != prios[i] {
+				t.Fatalf("trial %d: pop %d = %v, want %v", trial, i, v, prios[i])
+			}
+		}
+	}
+}
+
+func TestBoundedMinSetKeepsSmallest(t *testing.T) {
+	s := NewBoundedMinSet[int](3)
+	for i := 10; i >= 1; i-- {
+		s.Push(float64(i), i)
+	}
+	vals, _ := s.Drain()
+	sort.Ints(vals)
+	if len(vals) != 3 || vals[0] != 1 || vals[1] != 2 || vals[2] != 3 {
+		t.Fatalf("Drain = %v, want [1 2 3]", vals)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after Drain = %d", s.Len())
+	}
+}
+
+func TestBoundedMinSetRejectsWorseWhenFull(t *testing.T) {
+	s := NewBoundedMinSet[int](2)
+	if !s.Push(1, 1) || !s.Push(2, 2) {
+		t.Fatal("pushes below capacity rejected")
+	}
+	if !s.Full() {
+		t.Fatal("Full = false at capacity")
+	}
+	if s.Push(5, 5) {
+		t.Fatal("push of worse item accepted when full")
+	}
+	if !s.Push(0.5, 0) {
+		t.Fatal("push of better item rejected when full")
+	}
+	if s.MaxPrio() != 1 {
+		t.Fatalf("MaxPrio = %v, want 1", s.MaxPrio())
+	}
+}
+
+func TestBoundedMinSetCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBoundedMinSet(0) did not panic")
+		}
+	}()
+	NewBoundedMinSet[int](0)
+}
+
+func TestBoundedMinSetMaxPrioEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxPrio on empty set did not panic")
+		}
+	}()
+	NewBoundedMinSet[int](1).MaxPrio()
+}
+
+func TestPropBoundedMinSetMatchesSort(t *testing.T) {
+	f := func(raw []uint16, capRaw uint8) bool {
+		capacity := int(capRaw)%16 + 1
+		s := NewBoundedMinSet[uint16](capacity)
+		for _, v := range raw {
+			s.Push(float64(v), v)
+		}
+		got, _ := s.Drain()
+		sorted := append([]uint16(nil), raw...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		keep := len(sorted)
+		if keep > capacity {
+			keep = capacity
+		}
+		if len(got) != keep {
+			return false
+		}
+		// Multiset equality on the kept prefix.
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		for i := 0; i < keep; i++ {
+			if got[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMinHeapIsSorted(t *testing.T) {
+	f := func(raw []int16) bool {
+		var h MinHeap[int16]
+		for _, v := range raw {
+			h.Push(float64(v), v)
+		}
+		prev := float64(-1 << 30)
+		for h.Len() > 0 {
+			v, _ := h.PopMin()
+			if float64(v) < prev {
+				return false
+			}
+			prev = float64(v)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+// Package core groups the paper's primary contribution — the TreeSketch
+// synopsis model, its construction algorithm, and the approximate query
+// evaluation framework — behind one import for internal callers. The
+// implementations live in the sibling packages:
+//
+//   - sketch:  the TreeSketch data structure (Definition 3.2)
+//   - tsbuild: TSBuild / CreatePool construction (Figures 5, 6)
+//   - eval:    EvalQuery / EvalEmbed and selectivity estimation
+//     (Figures 7, 8; Section 4.4)
+//   - esd:     the Element Simulation Distance metric (Section 5)
+//
+// The public module-level API is the root package treesketch.
+package core
+
+import (
+	"treesketch/internal/esd"
+	"treesketch/internal/eval"
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+	"treesketch/internal/tsbuild"
+)
+
+// Aliases for the contribution's central types.
+type (
+	// Sketch is a TreeSketch synopsis.
+	Sketch = sketch.Sketch
+	// Node is one element cluster of a TreeSketch.
+	Node = sketch.Node
+	// Edge is a synopsis edge with its average child count.
+	Edge = sketch.Edge
+	// StableSummary is the count-stable summary construction starts from.
+	StableSummary = stable.Synopsis
+	// BuildOptions configures TSBuild.
+	BuildOptions = tsbuild.Options
+	// Result is an approximate answer synopsis.
+	Result = eval.Result
+)
+
+// Build runs TSBuild on a count-stable summary.
+func Build(st *StableSummary, opts BuildOptions) (*Sketch, tsbuild.Stats) {
+	return tsbuild.Build(st, opts)
+}
+
+// Distance is the ESD metric over answer graphs.
+func Distance(a, b *esd.Node) float64 { return esd.Distance(a, b) }

@@ -1,0 +1,172 @@
+// Package datagen synthesizes XML documents whose structural signatures
+// mimic the four datasets of the paper's experimental study (Section 6.1):
+// IMDB (movie database), XMark (on-line auction benchmark), SwissProt
+// (protein annotations), and DBLP (bibliography).
+//
+// The real dumps are not redistributable, but every algorithm in this
+// repository consumes only the label structure, so the generators aim at
+// the properties the evaluation exercises (see DESIGN.md §4):
+//
+//   - IMDB: moderately heterogeneous records with optional sub-elements
+//     and skewed fanouts (casts of widely varying size).
+//   - XMark: a diverse schema with six top-level sections and recursive
+//     description parlists, yielding the largest stable summaries relative
+//     to document size — exactly XMark's role in Table 1.
+//   - SwissProt: entries with many repeated annotation children (features,
+//     references, keywords), producing very large binding-tuple counts for
+//     twig queries, as in Table 2.
+//   - DBLP: highly regular flat records, so the stable summary is a tiny
+//     fraction of the document — DBLP compresses best in Table 1.
+//
+// Generation is deterministic for a given (dataset, target, seed).
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"treesketch/internal/xmltree"
+)
+
+// Dataset identifies one of the four synthesized document families.
+type Dataset int
+
+// The supported datasets.
+const (
+	IMDB Dataset = iota
+	XMark
+	SwissProt
+	DBLP
+)
+
+// String returns the canonical dataset name.
+func (d Dataset) String() string {
+	switch d {
+	case IMDB:
+		return "IMDB"
+	case XMark:
+		return "XMark"
+	case SwissProt:
+		return "SwissProt"
+	case DBLP:
+		return "DBLP"
+	}
+	return fmt.Sprintf("Dataset(%d)", int(d))
+}
+
+// All lists every dataset in the order used by the paper's tables.
+func All() []Dataset { return []Dataset{IMDB, XMark, SwissProt, DBLP} }
+
+// ParseName resolves a dataset from its (case-insensitive) name.
+func ParseName(s string) (Dataset, error) {
+	switch strings.ToLower(s) {
+	case "imdb":
+		return IMDB, nil
+	case "xmark":
+		return XMark, nil
+	case "swissprot", "sprot":
+		return SwissProt, nil
+	case "dblp":
+		return DBLP, nil
+	}
+	return 0, fmt.Errorf("datagen: unknown dataset %q (want imdb, xmark, swissprot, or dblp)", s)
+}
+
+// Generate synthesizes a document of roughly targetElements element nodes
+// (top-level records are appended until the target is reached, so the
+// result slightly overshoots). The same (dataset, target, seed) always
+// yields the same tree.
+func Generate(d Dataset, targetElements int, seed int64) *xmltree.Tree {
+	if targetElements < 1 {
+		targetElements = 1
+	}
+	g := &gen{t: xmltree.NewTree(), rng: rand.New(rand.NewSource(seed ^ int64(d)<<32))}
+	switch d {
+	case IMDB:
+		g.imdb(targetElements)
+	case XMark:
+		g.xmark(targetElements)
+	case SwissProt:
+		g.swissprot(targetElements)
+	case DBLP:
+		g.dblp(targetElements)
+	default:
+		panic("datagen: unknown dataset")
+	}
+	return g.t
+}
+
+type gen struct {
+	t   *xmltree.Tree
+	rng *rand.Rand
+}
+
+func (g *gen) node(parent *xmltree.Node, label string) *xmltree.Node {
+	n := g.t.NewNode(label)
+	if parent != nil {
+		parent.Children = append(parent.Children, n)
+	}
+	return n
+}
+
+// leafRun appends n leaf children with the same label.
+func (g *gen) leafRun(parent *xmltree.Node, label string, n int) {
+	for i := 0; i < n; i++ {
+		g.node(parent, label)
+	}
+}
+
+// chance reports true with probability p.
+func (g *gen) chance(p float64) bool { return g.rng.Float64() < p }
+
+// pick returns an index into weights chosen with the given relative
+// weights. Records in real XML collections come in a handful of shape
+// families ("archetypes"); generators draw an archetype per record and
+// derive correlated counts from it, producing the intrinsic sub-structure
+// similarity the TreeSketch clustering model exploits (Section 3 of the
+// paper). Independent per-edge randomness would instead produce data whose
+// only structure is its marginals — the regime edge histograms summarize
+// perfectly and clustering cannot compress.
+func (g *gen) pick(weights ...int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	r := g.rng.Intn(total)
+	for i, w := range weights {
+		if r < w {
+			return i
+		}
+		r -= w
+	}
+	return len(weights) - 1
+}
+
+// jitter perturbs an archetype count by +/-1 (occasionally +/-2), keeping
+// archetypes recognizable (low within-archetype variance) while making the
+// count-stable summary rich enough to be worth compressing: real
+// collections have many distinct-but-similar record shapes, which is what
+// gives Table 1 its large stable summaries. Nonpositive inputs pass
+// through.
+func (g *gen) jitter(v int) int {
+	if v <= 0 {
+		return v
+	}
+	out := v
+	if g.chance(0.35) {
+		if g.chance(0.5) && out > 1 {
+			out--
+		} else {
+			out++
+		}
+	}
+	if g.chance(0.12) {
+		if g.chance(0.5) && out > 1 {
+			out--
+		} else {
+			out++
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package datagen
+
+import (
+	"testing"
+
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, d := range All() {
+		a := Generate(d, 2000, 7)
+		b := Generate(d, 2000, 7)
+		if a.Compact() != b.Compact() {
+			t.Errorf("%s: same seed produced different documents", d)
+		}
+		c := Generate(d, 2000, 8)
+		if a.Compact() == c.Compact() {
+			t.Errorf("%s: different seeds produced identical documents", d)
+		}
+	}
+}
+
+func TestGenerateReachesTarget(t *testing.T) {
+	for _, d := range All() {
+		for _, target := range []int{1, 100, 5000} {
+			tr := Generate(d, target, 1)
+			if tr.Size() < target {
+				t.Errorf("%s(%d): size %d below target", d, target, tr.Size())
+			}
+			// Overshoot is bounded by one record.
+			if target >= 1000 && tr.Size() > 2*target {
+				t.Errorf("%s(%d): size %d overshoots badly", d, target, tr.Size())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Errorf("%s(%d): %v", d, target, err)
+			}
+		}
+	}
+}
+
+func TestStructuralSignatures(t *testing.T) {
+	// The property Table 1 exercises: compressibility of the stable
+	// summary differs sharply across families. DBLP must compress far
+	// better than XMark. Measured at a scale where class populations have
+	// saturated (class counts stop growing well before this size).
+	const target = 60000
+	ratio := func(d Dataset) float64 {
+		tr := Generate(d, target, 3)
+		st := stable.Build(tr)
+		return float64(st.NumNodes()) / float64(tr.Size())
+	}
+	dblp := ratio(DBLP)
+	xmark := ratio(XMark)
+	sprot := ratio(SwissProt)
+	if !(dblp < xmark) {
+		t.Errorf("DBLP ratio %.4f should be < XMark %.4f", dblp, xmark)
+	}
+	if !(dblp < sprot) {
+		t.Errorf("DBLP ratio %.4f should be < SwissProt %.4f", dblp, sprot)
+	}
+	if dblp > 0.05 {
+		t.Errorf("DBLP stable ratio %.4f too high; generator not regular enough", dblp)
+	}
+}
+
+func TestXMarkHasRecursion(t *testing.T) {
+	tr := Generate(XMark, 30000, 2)
+	st := stable.Build(tr)
+	// parlist classes at different depths witness the recursion.
+	parlists := 0
+	for _, n := range st.Nodes {
+		if n.Label == "parlist" {
+			parlists++
+		}
+	}
+	if parlists < 2 {
+		t.Fatalf("XMark has %d parlist classes, want >= 2 (recursive nesting)", parlists)
+	}
+}
+
+func TestSwissProtFanout(t *testing.T) {
+	tr := Generate(SwissProt, 10000, 4)
+	counts := map[string]int{}
+	tr.PreOrder(func(n *xmltree.Node) { counts[n.Label]++ })
+	entries := counts["entry"]
+	if entries == 0 {
+		t.Fatal("no entries generated")
+	}
+	// Entries are wide: on average >= 8 features and >= 2 references each.
+	if counts["feature"] < 8*entries {
+		t.Errorf("features per entry = %.1f, want >= 8", float64(counts["feature"])/float64(entries))
+	}
+	if counts["reference"] < 2*entries {
+		t.Errorf("references per entry = %.1f, want >= 2", float64(counts["reference"])/float64(entries))
+	}
+}
+
+func TestParseName(t *testing.T) {
+	cases := map[string]Dataset{
+		"imdb": IMDB, "IMDB": IMDB,
+		"xmark": XMark, "XMark": XMark,
+		"swissprot": SwissProt, "sprot": SwissProt,
+		"dblp": DBLP,
+	}
+	for s, want := range cases {
+		got, err := ParseName(s)
+		if err != nil || got != want {
+			t.Errorf("ParseName(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseName("nope"); err == nil {
+		t.Error("ParseName accepted unknown name")
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	want := []string{"IMDB", "XMark", "SwissProt", "DBLP"}
+	for i, d := range All() {
+		if d.String() != want[i] {
+			t.Errorf("String() = %q, want %q", d.String(), want[i])
+		}
+	}
+	if Dataset(99).String() == "" {
+		t.Error("unknown dataset String empty")
+	}
+}

@@ -1,0 +1,368 @@
+package datagen
+
+import "treesketch/internal/xmltree"
+
+// imdb synthesizes a movie database. Movies come in three archetypes
+// (indie, mainstream, blockbuster) with correlated cast / keyword / trivia
+// profiles; shows in two (miniseries, long-running).
+func (g *gen) imdb(target int) {
+	root := g.node(nil, "imdb")
+	g.t.Root = root
+	for g.t.Size() < target {
+		if g.chance(0.85) {
+			g.movie(root)
+		} else {
+			g.show(root)
+		}
+	}
+}
+
+func (g *gen) movie(root *xmltree.Node) {
+	m := g.node(root, "movie")
+	g.node(m, "title")
+	g.node(m, "year")
+
+	// Archetype: genres, directors, actors, keywords, trivia, hasRating.
+	type arch struct {
+		genres, directors, actors, keywords, trivia int
+		rating                                      bool
+	}
+	profiles := []arch{
+		{1, 1, 3, 2, 0, false}, // indie
+		{2, 1, 8, 5, 2, true},  // mainstream
+		{3, 2, 15, 8, 4, true}, // blockbuster
+	}
+	p := profiles[g.pick(45, 40, 15)]
+
+	g.leafRun(m, "genre", g.jitter(p.genres))
+	d := g.node(m, "directors")
+	for i := 0; i < p.directors; i++ {
+		g.node(g.node(d, "director"), "name")
+	}
+	cast := g.node(m, "cast")
+	actors := g.jitter(p.actors)
+	for i := 0; i < actors; i++ {
+		a := g.node(cast, "actor")
+		g.node(a, "name")
+		// Credited roles correlate with production size.
+		if p.actors >= 8 {
+			g.node(a, "role")
+		}
+		// Rare per-actor decorations compose into many distinct cast
+		// shapes, the class diversity real collections exhibit.
+		if g.chance(0.06) {
+			g.node(a, "award")
+		}
+	}
+	if g.chance(0.25) {
+		g.node(m, "country")
+	}
+	if p.rating {
+		g.node(m, "rating")
+	}
+	if p.trivia > 0 {
+		g.leafRun(m, "trivia", g.jitter(p.trivia))
+	}
+	if p.keywords > 0 {
+		k := g.node(m, "keywords")
+		g.leafRun(k, "keyword", g.jitter(p.keywords))
+	}
+}
+
+func (g *gen) show(root *xmltree.Node) {
+	s := g.node(root, "show")
+	g.node(s, "title")
+	g.node(s, "year")
+	type arch struct{ seasons, episodes int }
+	profiles := []arch{{1, 3}, {4, 8}}
+	p := profiles[g.pick(50, 50)]
+	seasons := g.jitter(p.seasons)
+	for i := 0; i < seasons; i++ {
+		season := g.node(s, "season")
+		for j := 0; j < g.jitter(p.episodes); j++ {
+			e := g.node(season, "episode")
+			g.node(e, "title")
+			if p.episodes >= 8 {
+				g.node(e, "airdate")
+			}
+			if g.chance(0.08) {
+				g.node(e, "guest")
+			}
+		}
+	}
+}
+
+// xmark synthesizes the auction-site benchmark's shape: six sections under
+// the site root, recursive parlist/listitem descriptions, and archetyped
+// items, persons, and auctions.
+func (g *gen) xmark(target int) {
+	root := g.node(nil, "site")
+	g.t.Root = root
+	regions := g.node(root, "regions")
+	regionNames := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	regionNodes := make([]*xmltree.Node, len(regionNames))
+	for i, rn := range regionNames {
+		regionNodes[i] = g.node(regions, rn)
+	}
+	categories := g.node(root, "categories")
+	people := g.node(root, "people")
+	open := g.node(root, "open_auctions")
+	closed := g.node(root, "closed_auctions")
+
+	for g.t.Size() < target {
+		switch g.rng.Intn(10) {
+		case 0, 1, 2:
+			g.xmarkItem(regionNodes[g.rng.Intn(len(regionNodes))])
+		case 3:
+			c := g.node(categories, "category")
+			g.node(c, "name")
+			g.description(c, 0, g.chance(0.5))
+		case 4, 5:
+			g.xmarkPerson(people)
+		case 6, 7, 8:
+			g.xmarkOpenAuction(open)
+		default:
+			g.xmarkClosedAuction(closed)
+		}
+	}
+}
+
+func (g *gen) xmarkItem(region *xmltree.Node) {
+	it := g.node(region, "item")
+	g.node(it, "location")
+	g.node(it, "quantity")
+	g.node(it, "name")
+	g.leafRun(it, "incategory", g.jitter(1))
+	// Archetypes: basic listing vs premium listing with rich description,
+	// payment/shipping details, and an active mailbox.
+	premium := g.pick(60, 40) == 1
+	if premium {
+		g.node(it, "payment")
+		g.node(it, "shipping")
+	}
+	g.description(it, 0, premium)
+	if premium {
+		m := g.node(it, "mailbox")
+		for i := 0; i < g.jitter(3); i++ {
+			mail := g.node(m, "mail")
+			g.node(mail, "from")
+			g.node(mail, "to")
+			g.node(mail, "date")
+			if g.chance(0.2) {
+				g.node(mail, "text")
+			}
+		}
+	}
+}
+
+// description recursively nests parlists, XMark's signature recursion;
+// rich descriptions nest deeper.
+func (g *gen) description(parent *xmltree.Node, depth int, rich bool) {
+	d := g.node(parent, "description")
+	if rich && depth < 3 {
+		g.parlist(d, depth, rich)
+	} else {
+		g.node(d, "text")
+	}
+}
+
+func (g *gen) parlist(parent *xmltree.Node, depth int, rich bool) {
+	pl := g.node(parent, "parlist")
+	items := 2
+	if !rich {
+		items = 1
+	}
+	for i := 0; i < g.jitter(items); i++ {
+		li := g.node(pl, "listitem")
+		if depth < 2 && rich && g.chance(0.4) {
+			g.parlist(li, depth+1, rich)
+		} else {
+			g.node(li, "text")
+		}
+	}
+}
+
+func (g *gen) xmarkPerson(people *xmltree.Node) {
+	p := g.node(people, "person")
+	g.node(p, "name")
+	g.node(p, "emailaddress")
+	// Archetypes: casual browser, active bidder, power user.
+	type arch struct {
+		phone, address bool
+		watches        int
+		interests      int
+	}
+	profiles := []arch{
+		{false, false, 0, 0}, // casual
+		{true, true, 2, 1},   // active
+		{true, true, 5, 3},   // power
+	}
+	a := profiles[g.pick(45, 35, 20)]
+	if a.phone {
+		g.node(p, "phone")
+	}
+	if a.address {
+		ad := g.node(p, "address")
+		g.node(ad, "street")
+		g.node(ad, "city")
+		g.node(ad, "country")
+	}
+	if a.watches > 0 {
+		w := g.node(p, "watches")
+		g.leafRun(w, "watch", g.jitter(a.watches))
+	}
+	if a.interests > 0 {
+		prof := g.node(p, "profile")
+		g.node(prof, "education")
+		g.leafRun(prof, "interest", g.jitter(a.interests))
+	}
+}
+
+func (g *gen) xmarkOpenAuction(open *xmltree.Node) {
+	a := g.node(open, "open_auction")
+	g.node(a, "initial")
+	// Archetypes: cold, warm, hot auctions; hot auctions also carry
+	// privacy flags and longer intervals.
+	type arch struct {
+		bidders int
+		privacy bool
+	}
+	profiles := []arch{{1, false}, {4, false}, {10, true}}
+	p := profiles[g.pick(40, 40, 20)]
+	for i := 0; i < g.jitter(p.bidders); i++ {
+		b := g.node(a, "bidder")
+		g.node(b, "date")
+		g.node(b, "increase")
+		if g.chance(0.1) {
+			g.node(b, "personref")
+		}
+	}
+	g.node(a, "current")
+	g.node(a, "itemref")
+	if p.privacy {
+		g.node(a, "privacy")
+	}
+	g.node(a, "seller")
+	g.node(a, "quantity")
+	g.node(a, "type")
+	g.node(a, "interval")
+}
+
+func (g *gen) xmarkClosedAuction(closed *xmltree.Node) {
+	a := g.node(closed, "closed_auction")
+	g.node(a, "seller")
+	g.node(a, "buyer")
+	g.node(a, "itemref")
+	g.node(a, "price")
+	g.node(a, "date")
+	g.node(a, "quantity")
+	g.node(a, "type")
+	if g.pick(70, 30) == 1 {
+		ann := g.node(a, "annotation")
+		g.description(ann, 1, true)
+	}
+}
+
+// swissprot synthesizes protein entries in three archetypes: obscure,
+// studied, and hub proteins, whose reference / feature / keyword counts
+// are correlated.
+func (g *gen) swissprot(target int) {
+	root := g.node(nil, "sptr")
+	g.t.Root = root
+	type arch struct {
+		refs, authorsPerRef, features, keywords, accessions int
+		lineage, sequence                                   bool
+	}
+	profiles := []arch{
+		{1, 1, 6, 2, 1, false, true},  // obscure
+		{4, 3, 15, 6, 2, true, true},  // studied
+		{8, 5, 25, 10, 3, true, true}, // hub
+	}
+	for g.t.Size() < target {
+		e := g.node(root, "entry")
+		a := profiles[g.pick(40, 40, 20)]
+		p := g.node(e, "protein")
+		g.node(p, "name")
+		org := g.node(e, "organism")
+		g.node(org, "name")
+		if a.lineage {
+			g.node(org, "lineage")
+		}
+		g.leafRun(e, "accession", g.jitter(a.accessions))
+		for i := 0; i < g.jitter(a.refs); i++ {
+			r := g.node(e, "reference")
+			for j := 0; j < a.authorsPerRef; j++ {
+				g.node(r, "author")
+			}
+			g.node(r, "title")
+			g.node(r, "cite")
+			if g.chance(0.15) {
+				g.node(r, "year")
+			}
+		}
+		for i := 0; i < g.jitter(a.features); i++ {
+			f := g.node(e, "feature")
+			g.node(f, "type")
+			loc := g.node(f, "location")
+			g.node(loc, "begin")
+			g.node(loc, "end")
+			if g.chance(0.07) {
+				g.node(f, "description")
+			}
+			// Hub entries carry evidence on features.
+			if a.features >= 25 {
+				g.node(f, "evidence")
+			}
+		}
+		g.leafRun(e, "keyword", g.jitter(a.keywords))
+		if a.sequence {
+			g.node(e, "sequence")
+		}
+	}
+}
+
+// dblp synthesizes the bibliography: millions of records drawn from a
+// handful of nearly identical shapes, so the count-stable summary is tiny
+// relative to the document.
+func (g *gen) dblp(target int) {
+	root := g.node(nil, "dblp")
+	g.t.Root = root
+	authorCounts := []int{1, 2, 3, 4}
+	for g.t.Size() < target {
+		var rec *xmltree.Node
+		switch g.rng.Intn(10) {
+		case 0, 1, 2, 3:
+			rec = g.node(root, "article")
+			g.node(rec, "journal")
+		case 4, 5, 6, 7:
+			rec = g.node(root, "inproceedings")
+			g.node(rec, "booktitle")
+		case 8:
+			rec = g.node(root, "phdthesis")
+			g.node(rec, "school")
+		default:
+			rec = g.node(root, "book")
+			g.node(rec, "publisher")
+		}
+		g.leafRun(rec, "author", authorCounts[g.pick(30, 40, 20, 10)])
+		g.node(rec, "title")
+		g.node(rec, "year")
+		if g.pick(30, 70) == 1 {
+			g.node(rec, "pages")
+		}
+		if g.pick(50, 50) == 1 {
+			g.node(rec, "ee")
+		}
+		// The real DBLP dump has a long tail of rare fields; they give it
+		// a sizable stable summary despite its regularity.
+		if g.chance(0.15) {
+			g.node(rec, "url")
+		}
+		if g.chance(0.03) {
+			g.node(rec, "note")
+		}
+		if g.chance(0.05) {
+			g.node(rec, "crossref")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package esd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Consolidate hash-conses an existing DAG bottom-up: nodes with the same
+// label and the same multiset of (consolidated child, multiplicity) edges
+// are merged, and duplicate edges to the same child are combined by summing
+// multiplicities. This is the on-the-fly "stable summary" step the paper
+// prescribes before evaluating the metric (end of Section 5); it shrinks
+// the pairwise comparisons setDist performs inside large same-tag groups.
+func Consolidate(root *Node) *Node {
+	if root == nil {
+		return nil
+	}
+	c := &consolidator{
+		classes: make(map[string]*Node),
+		done:    make(map[*Node]*Node),
+		ids:     make(map[*Node]int),
+	}
+	return c.walk(root)
+}
+
+type consolidator struct {
+	classes map[string]*Node
+	done    map[*Node]*Node
+	ids     map[*Node]int
+}
+
+func (c *consolidator) id(n *Node) int {
+	id, ok := c.ids[n]
+	if !ok {
+		id = len(c.ids)
+		c.ids[n] = id
+	}
+	return id
+}
+
+func (c *consolidator) walk(n *Node) *Node {
+	if out, ok := c.done[n]; ok {
+		return out
+	}
+	// Mark in progress to guard against (unexpected) cycles.
+	c.done[n] = n
+
+	mults := make(map[*Node]float64)
+	order := make([]*Node, 0, len(n.Edges))
+	for _, e := range n.Edges {
+		ch := c.walk(e.Child)
+		if _, seen := mults[ch]; !seen {
+			order = append(order, ch)
+		}
+		mults[ch] += e.Mult
+	}
+	sort.Slice(order, func(i, j int) bool { return c.id(order[i]) < c.id(order[j]) })
+
+	var key strings.Builder
+	key.WriteString(n.Label)
+	for _, ch := range order {
+		fmt.Fprintf(&key, "|%d*%g", c.id(ch), mults[ch])
+	}
+	out, ok := c.classes[key.String()]
+	if !ok {
+		out = &Node{Label: n.Label}
+		for _, ch := range order {
+			out.Edges = append(out.Edges, Edge{Child: ch, Mult: mults[ch]})
+		}
+		c.classes[key.String()] = out
+		c.id(out)
+	}
+	c.done[n] = out
+	return out
+}

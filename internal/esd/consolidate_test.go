@@ -1,0 +1,86 @@
+package esd
+
+import (
+	"testing"
+
+	"treesketch/internal/xmltree"
+)
+
+func TestConsolidateMergesIsomorphicNodes(t *testing.T) {
+	// Build a deliberately redundant DAG: two distinct leaf nodes with the
+	// same label, referenced by a root.
+	b1 := &Node{Label: "b"}
+	b2 := &Node{Label: "b"}
+	root := &Node{Label: "r", Edges: []Edge{{b1, 1}, {b2, 2}}}
+	out := Consolidate(root)
+	if len(out.Edges) != 1 {
+		t.Fatalf("root edges = %d, want 1 (duplicates merged)", len(out.Edges))
+	}
+	if out.Edges[0].Mult != 3 {
+		t.Fatalf("mult = %g, want 3", out.Edges[0].Mult)
+	}
+}
+
+func TestConsolidateDistinguishesDifferentStructure(t *testing.T) {
+	b1 := &Node{Label: "b", Edges: []Edge{{&Node{Label: "c"}, 1}}}
+	b2 := &Node{Label: "b"} // no children: different class
+	root := &Node{Label: "r", Edges: []Edge{{b1, 1}, {b2, 1}}}
+	out := Consolidate(root)
+	if len(out.Edges) != 2 {
+		t.Fatalf("root edges = %d, want 2 (different structures kept apart)", len(out.Edges))
+	}
+}
+
+func TestConsolidatePreservesDistanceZero(t *testing.T) {
+	tr := xmltree.MustCompact("r(a(b,b),a(b,b),a(b))")
+	g := FromTree(tr, nil)
+	c := Consolidate(g)
+	if d := Distance(g, c); d != 0 {
+		t.Fatalf("consolidation changed the represented tree: distance %g", d)
+	}
+	if Size(c) != Size(g) {
+		t.Fatalf("sizes differ: %g vs %g", Size(c), Size(g))
+	}
+}
+
+func TestConsolidateNil(t *testing.T) {
+	if Consolidate(nil) != nil {
+		t.Fatal("Consolidate(nil) != nil")
+	}
+}
+
+func TestConsolidateFractionalMults(t *testing.T) {
+	b := &Node{Label: "b"}
+	root := &Node{Label: "r", Edges: []Edge{{b, 0.5}, {b, 0.25}}}
+	out := Consolidate(root)
+	if len(out.Edges) != 1 || out.Edges[0].Mult != 0.75 {
+		t.Fatalf("edges = %+v, want single mult 0.75", out.Edges)
+	}
+}
+
+func TestConsolidateIdempotent(t *testing.T) {
+	tr := xmltree.MustCompact("r(a(b(c),b(c)),a(b(c)))")
+	g := Consolidate(FromTree(tr, nil))
+	g2 := Consolidate(g)
+	if d := Distance(g, g2); d != 0 {
+		t.Fatalf("second consolidation changed distance: %g", d)
+	}
+	count := func(n *Node) int {
+		seen := map[*Node]bool{}
+		var rec func(*Node)
+		rec = func(x *Node) {
+			if seen[x] {
+				return
+			}
+			seen[x] = true
+			for _, e := range x.Edges {
+				rec(e.Child)
+			}
+		}
+		rec(n)
+		return len(seen)
+	}
+	if count(g) != count(g2) {
+		t.Fatalf("node counts differ: %d vs %d", count(g), count(g2))
+	}
+}

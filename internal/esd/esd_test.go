@@ -1,0 +1,297 @@
+package esd
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"treesketch/internal/xmltree"
+)
+
+func leaf(label string) *Node { return &Node{Label: label} }
+
+func withKids(label string, kids ...Edge) *Node { return &Node{Label: label, Edges: kids} }
+
+func TestSizeSimple(t *testing.T) {
+	// r with 2 a's, each with 3 b's: 1 + 2*(1 + 3*1) = 9.
+	b := leaf("b")
+	a := withKids("a", Edge{b, 3})
+	r := withKids("r", Edge{a, 2})
+	if got := Size(r); got != 9 {
+		t.Fatalf("Size = %g, want 9", got)
+	}
+}
+
+func TestSizeFractional(t *testing.T) {
+	b := leaf("b")
+	a := withKids("a", Edge{b, 0.5})
+	if got := Size(a); got != 1.5 {
+		t.Fatalf("Size = %g, want 1.5", got)
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	tr := xmltree.MustCompact("r(a(b,b),a(b))")
+	n := FromTree(tr, nil)
+	if d := Distance(n, n); d != 0 {
+		t.Fatalf("Distance(x,x) = %g", d)
+	}
+	m := FromTree(xmltree.MustCompact("r(a(b),a(b,b))"), nil)
+	if d := Distance(n, m); d != 0 {
+		t.Fatalf("Distance between isomorphic trees = %g", d)
+	}
+}
+
+func TestDistanceToEmpty(t *testing.T) {
+	tr := xmltree.MustCompact("r(a(b,b),c)")
+	n := FromTree(tr, nil)
+	if d := Distance(nil, n); d != float64(tr.Size()) {
+		t.Fatalf("Distance(nil, n) = %g, want %d", d, tr.Size())
+	}
+	if d := Distance(n, nil); d != float64(tr.Size()) {
+		t.Fatalf("Distance(n, nil) = %g, want %d", d, tr.Size())
+	}
+	if d := Distance(nil, nil); d != 0 {
+		t.Fatalf("Distance(nil,nil) = %g", d)
+	}
+}
+
+func TestDistanceLabelMismatch(t *testing.T) {
+	a := FromTree(xmltree.MustCompact("a(x)"), nil)
+	b := FromTree(xmltree.MustCompact("b(x,y)"), nil)
+	if d := Distance(a, b); d != 2+3 {
+		t.Fatalf("Distance across labels = %g, want sizes sum 5", d)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	x := FromTree(xmltree.MustCompact("r(a(b,b,c),a(c))"), nil)
+	y := FromTree(xmltree.MustCompact("r(a(b,c,c),a(b),d)"), nil)
+	if dxy, dyx := Distance(x, y), Distance(y, x); math.Abs(dxy-dyx) > 1e-9 {
+		t.Fatalf("asymmetric: %g vs %g", dxy, dyx)
+	}
+}
+
+func TestFigure10Ordering(t *testing.T) {
+	// The paper's Figure 10: T has a(4 Sc, 1 Sd) and a(1 Sc, 4 Sd);
+	// T1 decorrelates the counts (1,1) and (4,4); T2 scales them
+	// proportionally (6,2) and (2,6). Tree-edit distance rates T1 and T2
+	// equally; ESD must rate T2 strictly closer to T.
+	// Sc = c(u,u) with |Sc| = 3; Sd = d(w) with |Sd| = 2.
+	sc := func(n int) string { return "c*" + itoa(n) + "(u,u)" }
+	sd := func(n int) string { return "d*" + itoa(n) + "(w)" }
+	mk := func(c1, d1, c2, d2 int) *Node {
+		var b strings.Builder
+		b.WriteString("r(a(" + sc(c1) + "," + sd(d1) + "),a(" + sc(c2) + "," + sd(d2) + "))")
+		return FromTree(xmltree.MustCompact(b.String()), nil)
+	}
+	tTrue := mk(4, 1, 1, 4)
+	t1 := mk(1, 1, 4, 4)
+	t2 := mk(6, 2, 2, 6)
+	d1 := Distance(tTrue, t1)
+	d2 := Distance(tTrue, t2)
+	if !(d2 < d1) {
+		t.Fatalf("ESD(T,T2)=%g should be < ESD(T,T1)=%g", d2, d1)
+	}
+	if d1 <= 0 || d2 <= 0 {
+		t.Fatalf("distances must be positive: %g, %g", d1, d2)
+	}
+}
+
+func itoa(v int) string {
+	digits := "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	out := ""
+	for v > 0 {
+		out = string(digits[v%10]) + out
+		v /= 10
+	}
+	return out
+}
+
+func TestLinearMetricCannotDistinguishFigure10(t *testing.T) {
+	// The ablation behind Section 5's argument: with a linear
+	// (transport-style) penalty — tree-edit distance's behavior — the
+	// decorrelated answer T1 scores no worse than the proportionally
+	// scaled answer T2 (under min-cost matching it even scores better),
+	// while the MAC-style superlinear penalty correctly prefers T2
+	// (TestFigure10Ordering).
+	sc := func(n int) string { return "c*" + itoa(n) + "(u,u)" }
+	sd := func(n int) string { return "d*" + itoa(n) + "(w)" }
+	mk := func(c1, d1, c2, d2 int) *Node {
+		return FromTree(xmltree.MustCompact("r(a("+sc(c1)+","+sd(d1)+"),a("+sc(c2)+","+sd(d2)+"))"), nil)
+	}
+	tTrue := mk(4, 1, 1, 4)
+	t1 := mk(1, 1, 4, 4)
+	t2 := mk(6, 2, 2, 6)
+	d1 := DistanceWith(tTrue, t1, Linear)
+	d2 := DistanceWith(tTrue, t2, Linear)
+	if d2 < d1 {
+		t.Fatalf("linear metric unexpectedly prefers T2: %g vs %g", d2, d1)
+	}
+}
+
+func TestLinearMetricStillAMetricish(t *testing.T) {
+	a := FromTree(xmltree.MustCompact("r(a(b,b),c)"), nil)
+	b := FromTree(xmltree.MustCompact("r(a(b),c,c)"), nil)
+	if d := DistanceWith(a, a, Linear); d != 0 {
+		t.Fatalf("identity: %g", d)
+	}
+	dab := DistanceWith(a, b, Linear)
+	dba := DistanceWith(b, a, Linear)
+	if dab <= 0 || math.Abs(dab-dba) > 1e-9 {
+		t.Fatalf("linear distance %g / %g", dab, dba)
+	}
+	// Linear never exceeds MAC-style.
+	if mac := Distance(a, b); dab > mac+1e-9 {
+		t.Fatalf("linear %g > mac %g", dab, mac)
+	}
+}
+
+func TestMultiplicityPenaltySuperlinear(t *testing.T) {
+	// 4 vs 1 copies of the same subtree should cost more than twice
+	// (4 vs 3 copies), not linearly.
+	base := func(n int) *Node {
+		return FromTree(xmltree.MustCompact("r(a*"+itoa(n)+"(x))"), nil)
+	}
+	d41 := Distance(base(4), base(1))
+	d43 := Distance(base(4), base(3))
+	if !(d41 > 2*d43) {
+		t.Fatalf("penalty not superlinear: d(4,1)=%g, d(4,3)=%g", d41, d43)
+	}
+}
+
+func TestFractionalMultiplicities(t *testing.T) {
+	// An approximate answer with avg 1.5 children must sit strictly
+	// between answers with 1 and with 2 children.
+	b := leaf("b")
+	exact2 := withKids("r", Edge{b, 2})
+	approx := withKids("r", Edge{b, 1.5})
+	exact1 := withKids("r", Edge{b, 1})
+	dApprox := Distance(exact2, approx)
+	dWrong := Distance(exact2, exact1)
+	if !(dApprox < dWrong) {
+		t.Fatalf("fractional approx %g should beat integer-off-by-one %g", dApprox, dWrong)
+	}
+	if dApprox <= 0 {
+		t.Fatalf("approx distance = %g, want > 0", dApprox)
+	}
+}
+
+func TestVarAwareLabels(t *testing.T) {
+	// Same tags bound to different query variables must not match when the
+	// caller tags labels with variables.
+	tr := xmltree.MustCompact("r(a,a)")
+	i := 0
+	byVar := FromTree(tr, func(n *xmltree.Node) string {
+		if n.Label == "a" {
+			i++
+			return "q" + itoa(i) + ":a"
+		}
+		return n.Label
+	})
+	plain := FromTree(tr, nil)
+	if d := Distance(byVar, plain); d == 0 {
+		t.Fatal("var-tagged labels compared equal to plain labels")
+	}
+}
+
+func TestFromTreeSharesIdenticalSubtrees(t *testing.T) {
+	tr := xmltree.MustCompact("r(a(b,b),a(b,b),a(b))")
+	n := FromTree(tr, nil)
+	if len(n.Edges) != 2 {
+		t.Fatalf("root has %d distinct child classes, want 2", len(n.Edges))
+	}
+	var m2, m1 bool
+	for _, e := range n.Edges {
+		switch e.Mult {
+		case 2:
+			m2 = true
+		case 1:
+			m1 = true
+		}
+	}
+	if !m2 || !m1 {
+		t.Fatalf("root edges = %+v, want mults {2,1}", n.Edges)
+	}
+}
+
+func TestDistanceReflectsStructuralDivergence(t *testing.T) {
+	// Progressively more divergent answers must score progressively larger
+	// distances.
+	truth := FromTree(xmltree.MustCompact("r(a(b,b,c),a(b,c))"), nil)
+	close1 := FromTree(xmltree.MustCompact("r(a(b,b,c),a(b))"), nil)
+	far := FromTree(xmltree.MustCompact("r(a(c,c,c),d)"), nil)
+	d1 := Distance(truth, close1)
+	d2 := Distance(truth, far)
+	if !(0 < d1 && d1 < d2) {
+		t.Fatalf("want 0 < %g < %g", d1, d2)
+	}
+}
+
+func randomTree(seed uint64) *xmltree.Tree {
+	tr := xmltree.NewTree()
+	rng := seed
+	next := func(n uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % n
+	}
+	labels := []string{"a", "b", "c"}
+	var build func(depth int) *xmltree.Node
+	build = func(depth int) *xmltree.Node {
+		n := tr.NewNode(labels[next(3)])
+		if depth < 4 {
+			for i := uint64(0); i < next(3); i++ {
+				n.Children = append(n.Children, build(depth+1))
+			}
+		}
+		return n
+	}
+	tr.Root = tr.NewNode("r")
+	for i := uint64(0); i <= next(3); i++ {
+		tr.Root.Children = append(tr.Root.Children, build(1))
+	}
+	return tr
+}
+
+func TestPropMetricBasics(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		a := FromTree(randomTree(s1), nil)
+		b := FromTree(randomTree(s2), nil)
+		dab := Distance(a, b)
+		dba := Distance(b, a)
+		if dab < 0 {
+			return false
+		}
+		if math.Abs(dab-dba) > 1e-9*(1+dab) {
+			return false
+		}
+		if Distance(a, a) != 0 || Distance(b, b) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDistanceBoundedBySizes(t *testing.T) {
+	// Matching is at least as good as throwing both trees away, and the
+	// penalty is superlinear only in per-class multiplicity, which for
+	// hash-consed trees is bounded by the class count. A loose but useful
+	// sanity bound: distance between trees with the same root label never
+	// exceeds (|T1| + |T2|)^2.
+	f := func(s1, s2 uint64) bool {
+		t1, t2 := randomTree(s1), randomTree(s2)
+		d := Distance(FromTree(t1, nil), FromTree(t2, nil))
+		bound := float64(t1.Size()+t2.Size()) * float64(t1.Size()+t2.Size())
+		return d <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,683 @@
+package eval
+
+import (
+	"sort"
+
+	"treesketch/internal/query"
+	"treesketch/internal/sketch"
+)
+
+// Options configures approximate evaluation.
+type Options struct {
+	// MaxEmbeddings caps the number of synopsis-path embeddings enumerated
+	// per path expression; beyond it the result is truncated (recorded in
+	// Result.Truncated). Default 10000.
+	MaxEmbeddings int
+	// DisablePrune skips the pruning pass that removes result nodes whose
+	// required child variables found no bindings. Pruning is what makes
+	// EvalQuery exact on count-stable synopses; it is on by default.
+	DisablePrune bool
+	// PaperMode reverts evaluation to the paper's Figures 7 and 8
+	// verbatim, switching off two refinements that are otherwise on:
+	//
+	//   - required-edge conditioning (see conditionOnRequired);
+	//   - the two-moment existence estimator for branching predicates
+	//     (see branchSel), falling back to inclusion-exclusion over raw
+	//     average counts (Figure 8, line 11).
+	//
+	// Both refinements are the identity on count-stable synopses; the
+	// worked example of the paper's Example 4.1 is reproduced exactly
+	// with PaperMode set.
+	PaperMode bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxEmbeddings <= 0 {
+		o.MaxEmbeddings = 10000
+	}
+	return o
+}
+
+// Approx runs the EvalQuery algorithm (Figure 7): it processes the twig
+// query q over the TreeSketch and produces a Result synopsis summarizing
+// the approximate nesting tree. On a count-stable synopsis the result is
+// exact (Section 4.3).
+func Approx(sk *sketch.Sketch, q *query.Query, opts Options) *Result {
+	opts = opts.withDefaults()
+	return approxWith(sk, q, opts, !opts.PaperMode, !opts.PaperMode)
+}
+
+// approxWith exposes the two refinements independently for tests.
+func approxWith(sk *sketch.Sketch, q *query.Query, opts Options, conditioning, twoMoment bool) *Result {
+	a := &approxer{
+		sk:           sk,
+		q:            q,
+		qnodes:       q.Vars(),
+		qidx:         make(map[*query.Node]int),
+		opts:         opts.withDefaults(),
+		conditioning: conditioning && !opts.DisablePrune,
+		twoMoment:    twoMoment,
+		selMemo:      make(map[selKey]float64),
+		resIndex:     make(map[resKey]int),
+	}
+	for i, qn := range a.qnodes {
+		a.qidx[qn] = i
+	}
+	return a.run()
+}
+
+type approxer struct {
+	sk     *sketch.Sketch
+	q      *query.Query
+	qnodes []*query.Node
+	qidx   map[*query.Node]int
+	opts   Options
+
+	conditioning bool
+	twoMoment    bool
+
+	res        *Result
+	resIndex   map[resKey]int // (synopsis node, query var index) -> result node
+	bind       [][]int        // query var index -> result node IDs
+	selMemo    map[selKey]float64
+	reachCache map[string][]bool
+	truncated  bool
+}
+
+type resKey struct {
+	src int
+	q   int
+}
+
+type selKey struct {
+	src  int
+	pred *query.Path
+}
+
+// embedding is one mapping of a path expression into the synopsis: the
+// sequence of synopsis nodes traversed (one per edge, source excluded).
+// The same node path can admit several assignments of location steps to
+// positions (with recursive labels, //parlist//listitem embeds into a
+// nested parlist chain in more than one way); stepAts records all of them.
+// Counting each node path once — rather than once per assignment — matches
+// XPath's set semantics: the elements along a fixed class path are matched
+// if at least one step assignment exists, and elements on distinct class
+// paths are distinct.
+type embedding struct {
+	nodes   []int
+	stepAts [][]int
+}
+
+func (a *approxer) run() *Result {
+	optional := make([]bool, len(a.qnodes))
+	for _, qn := range a.qnodes {
+		for _, e := range qn.Edges {
+			if e.Optional {
+				optional[a.qidx[e.Child]] = true
+			}
+		}
+	}
+	a.res = &Result{Root: 0, VarOptional: optional}
+	a.bind = make([][]int, len(a.qnodes))
+	rootNode := a.sk.Nodes[a.sk.Root]
+	a.addResultNode(a.sk.Root, 0, rootNode.Label)
+
+	// Pre-order over query variables: parents first, so bind[q] is
+	// complete when q's edges are processed.
+	for qi, qn := range a.qnodes {
+		for _, uQ := range a.bind[qi] {
+			for _, edge := range qn.Edges {
+				a.processEdge(uQ, edge)
+			}
+		}
+	}
+
+	// Figure 7 line 15: a required variable with no bindings anywhere
+	// empties the whole answer.
+	for _, qn := range a.qnodes {
+		for _, edge := range qn.Edges {
+			if !edge.Optional && len(a.bind[a.qidx[edge.Child]]) == 0 {
+				return &Result{Empty: true, Truncated: a.truncated}
+			}
+		}
+	}
+
+	if !a.opts.DisablePrune {
+		if !a.prune() {
+			return &Result{Empty: true, Truncated: a.truncated}
+		}
+	}
+	if a.conditioning {
+		a.conditionOnRequired()
+	}
+	a.res.Truncated = a.truncated
+	a.computeCounts()
+	return a.res
+}
+
+// conditionOnRequired refines the result counts for required (solid) child
+// edges, which are existential filters on their parent bindings: an
+// element of uQ belongs to the answer only if it has at least one
+// descendant for every required child variable. The surviving fraction of
+// a group g is estimated as
+//
+//	s_g = min(1, sum over result nodes v of group g of k_v),
+//
+// i.e. the result classes of one variable are treated as mutually
+// exclusive alternatives rather than independent events: a merged
+// cluster's single child per element is typically *spread* across many
+// small-k result classes (one per surviving stable shape), and
+// inclusion-exclusion would wrongly conclude that many elements have no
+// child at all. Incoming edge counts of uQ scale by f = prod s_g, and the
+// group's outgoing counts rescale to k/s_g (the conditional average among
+// survivors), which preserves the selectivity estimate and is the
+// identity on count-stable synopses (there s_g is always 0 or 1).
+func (a *approxer) conditionOnRequired() {
+	n := len(a.res.Nodes)
+	f := make([]float64, n)
+	// sOf[node][childVar] = survival fraction of that required group.
+	sOf := make([]map[int]float64, n)
+	required := make([]map[int]bool, len(a.qnodes))
+	for qi, qn := range a.qnodes {
+		required[qi] = make(map[int]bool)
+		for _, e := range qn.Edges {
+			if !e.Optional {
+				required[qi][a.qidx[e.Child]] = true
+			}
+		}
+	}
+	for i, rn := range a.res.Nodes {
+		f[i] = 1
+		if len(required[rn.VarID]) == 0 {
+			continue
+		}
+		sums := make(map[int]float64) // child var -> sum of k
+		for _, e := range rn.Edges {
+			cv := a.res.Nodes[e.Child].VarID
+			if !required[rn.VarID][cv] {
+				continue
+			}
+			sums[cv] += e.K
+		}
+		for cv, sum := range sums {
+			if sum >= 1 {
+				continue
+			}
+			s := sum
+			if s <= 0 {
+				s = 1e-9
+			}
+			if sOf[i] == nil {
+				sOf[i] = make(map[int]float64)
+			}
+			sOf[i][cv] = s
+			f[i] *= s
+		}
+	}
+	// Apply: outgoing required-group counts become conditional averages;
+	// incoming counts scale by the target's survival factor. The root has
+	// no incoming edge, so it is left unconditioned (its count stays 1).
+	for i, rn := range a.res.Nodes {
+		for ei := range rn.Edges {
+			e := &rn.Edges[ei]
+			if s, ok := sOf[i][a.res.Nodes[e.Child].VarID]; ok && i != a.res.Root {
+				e.K /= s
+			}
+			if e.Child != a.res.Root {
+				e.K *= f[e.Child]
+			}
+		}
+	}
+}
+
+func (a *approxer) addResultNode(src, qi int, label string) int {
+	k := resKey{src, qi}
+	if id, ok := a.resIndex[k]; ok {
+		return id
+	}
+	id := len(a.res.Nodes)
+	a.res.Nodes = append(a.res.Nodes, &RNode{
+		ID:    id,
+		Var:   a.qnodes[qi].Var,
+		VarID: qi,
+		Label: label,
+		Src:   src,
+	})
+	a.resIndex[k] = id
+	a.bind[qi] = append(a.bind[qi], id)
+	return id
+}
+
+// processEdge computes the bindings B(qc, uQ) (Figure 7 lines 4-13) for one
+// result node and one query edge.
+func (a *approxer) processEdge(uQ int, edge *query.Edge) {
+	rn := a.res.Nodes[uQ]
+	steps := edge.Path.MainSteps()
+	embs := a.embeddings(rn.Src, steps)
+	if len(embs) == 0 {
+		return
+	}
+	// Aggregate per terminal synopsis node; iterate terminals in sorted
+	// order so result-node IDs (and everything downstream: expansion
+	// order, float accumulation) are deterministic.
+	perTerm := make(map[int]float64)
+	for _, e := range embs {
+		k := a.evalEmbed(steps, rn.Src, e)
+		if k > 0 {
+			perTerm[e.nodes[len(e.nodes)-1]] += k
+		}
+	}
+	terms := make([]int, 0, len(perTerm))
+	for v := range perTerm {
+		terms = append(terms, v)
+	}
+	sort.Ints(terms)
+	ci := a.qidx[edge.Child]
+	for _, v := range terms {
+		vQ := a.addResultNode(v, ci, a.sk.Nodes[v].Label)
+		rn.addK(vQ, perTerm[v])
+	}
+}
+
+// embeddings enumerates the mappings of steps into the synopsis starting
+// at node from: a Child step follows one matching edge; a Descendant step
+// follows any downward path ending at a matching label. Mappings sharing a
+// node path are merged into one embedding with multiple step assignments.
+//
+// Two guards keep enumeration cheap: descendant exploration skips subgraphs
+// from which the target label is unreachable (label-reachability prune),
+// and total DFS work is bounded by a step budget proportional to
+// MaxEmbeddings so that fruitless dense regions cannot stall evaluation.
+func (a *approxer) embeddings(from int, steps []query.Step) []embedding {
+	var out []embedding
+	byPath := make(map[string]int) // node-path key -> index in out
+	budget := a.opts.MaxEmbeddings
+	work := 64 * a.opts.MaxEmbeddings
+	var nodes []int
+	var stepAt []int
+
+	var rec func(cur, si int)
+	emit := func() {
+		key := pathKey(nodes)
+		if i, ok := byPath[key]; ok {
+			out[i].stepAts = append(out[i].stepAts, append([]int(nil), stepAt...))
+			return
+		}
+		byPath[key] = len(out)
+		out = append(out, embedding{
+			nodes:   append([]int(nil), nodes...),
+			stepAts: [][]int{append([]int(nil), stepAt...)},
+		})
+	}
+	var desc func(cur, si int)
+	rec = func(cur, si int) {
+		if budget <= 0 || work <= 0 {
+			a.truncated = true
+			return
+		}
+		if si == len(steps) {
+			budget--
+			emit()
+			return
+		}
+		step := &steps[si]
+		if step.Axis == query.Child {
+			for _, e := range a.sk.Nodes[cur].Edges {
+				if a.sk.Nodes[e.Child].Label != step.Label {
+					continue
+				}
+				work--
+				nodes = append(nodes, e.Child)
+				stepAt = append(stepAt, len(nodes)-1)
+				rec(e.Child, si+1)
+				nodes = nodes[:len(nodes)-1]
+				stepAt = stepAt[:len(stepAt)-1]
+			}
+			return
+		}
+		desc(cur, si)
+	}
+	// desc explores all downward paths for a Descendant step: every node
+	// whose label matches is a landing point (and the search continues
+	// deeper regardless, since descendants below a match can match too).
+	desc = func(cur, si int) {
+		if budget <= 0 {
+			a.truncated = true
+			return
+		}
+		step := &steps[si]
+		for _, e := range a.sk.Nodes[cur].Edges {
+			if work <= 0 {
+				a.truncated = true
+				return
+			}
+			if !a.reaches(e.Child, step.Label) {
+				continue
+			}
+			work--
+			nodes = append(nodes, e.Child)
+			if a.sk.Nodes[e.Child].Label == step.Label {
+				stepAt = append(stepAt, len(nodes)-1)
+				rec(e.Child, si+1)
+				stepAt = stepAt[:len(stepAt)-1]
+			}
+			desc(e.Child, si)
+			nodes = nodes[:len(nodes)-1]
+		}
+	}
+	rec(from, 0)
+	return out
+}
+
+// reaches reports whether a node with the given label is reachable from id
+// (including id itself) following synopsis edges. Computed once per label
+// over the whole graph and cached.
+func (a *approxer) reaches(id int, label string) bool {
+	reach, ok := a.reachCache[label]
+	if !ok {
+		reach = make([]bool, len(a.sk.Nodes))
+		// Seed with label occurrences, then propagate along reverse edges
+		// until a fixed point; iterate passes for simplicity (graphs are
+		// small and the pass count is bounded by the longest chain).
+		for _, u := range a.sk.Nodes {
+			if u != nil && u.Label == label {
+				reach[u.ID] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, u := range a.sk.Nodes {
+				if u == nil || reach[u.ID] {
+					continue
+				}
+				for _, e := range u.Edges {
+					if reach[e.Child] {
+						reach[u.ID] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if a.reachCache == nil {
+			a.reachCache = make(map[string][]bool)
+		}
+		a.reachCache[label] = reach
+	}
+	return reach[id]
+}
+
+// evalEmbed implements EvalEmbed (Figure 8): the descendant count along the
+// embedding's main path is the product of the traversed average edge
+// counts, scaled by the selectivity of each step's branching predicates.
+// With several step assignments on the same node path, the best (highest
+// selectivity) assignment is used — an element matches if any assignment's
+// predicates hold.
+func (a *approxer) evalEmbed(steps []query.Step, from int, e embedding) float64 {
+	nt := 1.0
+	prev := from
+	for _, nid := range e.nodes {
+		edge, ok := a.sk.Nodes[prev].EdgeTo(nid)
+		if !ok {
+			return 0
+		}
+		nt *= edge.Avg
+		prev = nid
+	}
+	return nt * a.bestAssignmentSel(steps, e)
+}
+
+// bestAssignmentSel returns the maximum product of branch-predicate
+// selectivities over the embedding's step assignments. 1 when no step has
+// predicates.
+func (a *approxer) bestAssignmentSel(steps []query.Step, e embedding) float64 {
+	havePreds := false
+	for si := range steps {
+		if len(steps[si].Preds) > 0 {
+			havePreds = true
+			break
+		}
+	}
+	if !havePreds {
+		return 1
+	}
+	best := 0.0
+	for _, stepAt := range e.stepAts {
+		sel := 1.0
+		for si := range steps {
+			at := e.nodes[stepAt[si]]
+			for _, pred := range steps[si].Preds {
+				sel *= a.branchSel(at, pred)
+				if sel == 0 {
+					break
+				}
+			}
+			if sel == 0 {
+				break
+			}
+		}
+		if sel > best {
+			best = sel
+		}
+	}
+	return best
+}
+
+// pathKey renders a node-ID sequence as a map key.
+func pathKey(nodes []int) string {
+	buf := make([]byte, 0, len(nodes)*3)
+	for _, n := range nodes {
+		for n >= 0x80 {
+			buf = append(buf, byte(n)|0x80)
+			n >>= 7
+		}
+		buf = append(buf, byte(n))
+	}
+	return string(buf)
+}
+
+// branchSel estimates the fraction of elements of synopsis node from that
+// have at least one descendant along pred (Figure 8, lines 2-13).
+//
+// In PaperMode, counts per terminal node are summed across embeddings; a
+// count >= 1 certifies the predicate for the whole extent, otherwise
+// counts are combined as independent probabilities by inclusion-exclusion
+// (Figure 8, line 11).
+//
+// In the default refined mode the existence probability per embedding is
+// the product over hops of the per-edge two-moment estimate
+//
+//	P(c >= 1) ~ Sum^2 / (Count * SumSq),
+//
+// which the Cauchy-Schwarz inequality bounds by 1 and which is exact
+// whenever the per-element child count takes at most two values {0, m} —
+// the common shape after merging (a fraction of the cluster has the
+// sub-structure). Embeddings combine by min(1, sum): distinct synopsis
+// paths carve disjoint descendant sets out of each element's subtree, so
+// their existence events are treated as mutually exclusive rather than
+// independent. Both rules coincide (and are exact) on count-stable
+// synopses.
+func (a *approxer) branchSel(from int, pred *query.Path) float64 {
+	k := selKey{from, pred}
+	if s, ok := a.selMemo[k]; ok {
+		return s
+	}
+	embs := a.embeddings(from, pred.Steps)
+	var s float64
+	if a.twoMoment {
+		var sum float64
+		for _, e := range embs {
+			sum += a.embedExistence(pred.Steps, from, e)
+		}
+		if sum > 1 {
+			sum = 1
+		}
+		s = sum
+	} else {
+		perTerm := make(map[int]float64)
+		for _, e := range embs {
+			perTerm[e.nodes[len(e.nodes)-1]] += a.evalEmbed(pred.Steps, from, e)
+		}
+		if len(perTerm) > 0 {
+			prod := 1.0
+			certain := false
+			for _, kl := range perTerm {
+				if kl >= 1 {
+					certain = true
+					break
+				}
+				prod *= 1 - kl
+			}
+			if certain {
+				s = 1
+			} else {
+				s = 1 - prod
+			}
+		}
+	}
+	a.selMemo[k] = s
+	return s
+}
+
+// embedExistence estimates the probability that an element of from has at
+// least one descendant along the specific embedding: per-hop two-moment
+// existence probabilities multiplied along the path, scaled by the best
+// step assignment's nested-predicate selectivities.
+func (a *approxer) embedExistence(steps []query.Step, from int, e embedding) float64 {
+	p := 1.0
+	prev := from
+	for _, nid := range e.nodes {
+		edge, ok := a.sk.Nodes[prev].EdgeTo(nid)
+		if !ok {
+			return 0
+		}
+		p *= edgeExistence(edge, a.sk.Nodes[prev].Count)
+		if p == 0 {
+			return 0
+		}
+		prev = nid
+	}
+	return p * a.bestAssignmentSel(steps, e)
+}
+
+// edgeExistence estimates P(child count >= 1) for one synopsis edge: when
+// the exact minimum per-element count certifies universal presence the
+// probability is 1; otherwise the two-moment (Paley-Zygmund) estimate
+// applies, which is exact for {0,m}-valued counts.
+func edgeExistence(e sketch.Edge, count int) float64 {
+	if e.MinK >= 1 {
+		return 1
+	}
+	if e.SumSq <= 0 {
+		return 0
+	}
+	p := e.Sum * e.Sum / (float64(count) * e.SumSq)
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// prune drops result nodes for which some required child variable has no
+// surviving bindings, processing variables bottom-up. Returns false when
+// the root itself is pruned (empty answer).
+func (a *approxer) prune() bool {
+	keep := make([]bool, len(a.res.Nodes))
+	for i := range keep {
+		keep[i] = true
+	}
+	// Reverse pre-order: children before parents.
+	for qi := len(a.qnodes) - 1; qi >= 0; qi-- {
+		qn := a.qnodes[qi]
+		required := make([]int, 0, len(qn.Edges))
+		for _, e := range qn.Edges {
+			if !e.Optional {
+				required = append(required, a.qidx[e.Child])
+			}
+		}
+		if len(required) == 0 {
+			continue
+		}
+		for _, uQ := range a.bind[qi] {
+			if !keep[uQ] {
+				continue
+			}
+			rn := a.res.Nodes[uQ]
+			for _, ci := range required {
+				found := false
+				for _, re := range rn.Edges {
+					if a.res.Nodes[re.Child].VarID == ci && keep[re.Child] && re.K > 0 {
+						found = true
+						break
+					}
+				}
+				if !found {
+					keep[uQ] = false
+					break
+				}
+			}
+		}
+	}
+	if !keep[a.res.Root] {
+		return false
+	}
+	// Drop pruned nodes and edges to them, renumbering densely.
+	remap := make([]int, len(a.res.Nodes))
+	out := &Result{Truncated: a.res.Truncated, VarOptional: a.res.VarOptional}
+	for i, rn := range a.res.Nodes {
+		if keep[i] {
+			remap[i] = len(out.Nodes)
+			out.Nodes = append(out.Nodes, rn)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for _, rn := range out.Nodes {
+		rn.ID = remap[rn.ID]
+		kept := rn.Edges[:0]
+		for _, e := range rn.Edges {
+			if remap[e.Child] >= 0 {
+				e.Child = remap[e.Child]
+				kept = append(kept, e)
+			}
+		}
+		rn.Edges = kept
+	}
+	out.Root = remap[a.res.Root]
+	a.res = out
+	return true
+}
+
+// computeCounts derives estimated extent sizes: Count(root) = 1 and
+// Count(v) = sum over incoming edges of Count(u) * k(u,v). The result graph
+// is a DAG ordered by query-variable depth, so a pass in variable pre-order
+// suffices.
+func (a *approxer) computeCounts() {
+	order := make([]*RNode, len(a.res.Nodes))
+	copy(order, a.res.Nodes)
+	// Variable index increases from parent to child in the query tree;
+	// result edges always go from lower to higher VarID.
+	sortByVar(order)
+	for _, rn := range order {
+		if rn.ID == a.res.Root {
+			rn.Count = 1
+		}
+	}
+	for _, rn := range order {
+		for _, e := range rn.Edges {
+			a.res.Nodes[e.Child].Count += rn.Count * e.K
+		}
+	}
+}
+
+func sortByVar(nodes []*RNode) {
+	// Insertion sort by VarID: result sets are small and almost ordered.
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j-1].VarID > nodes[j].VarID; j-- {
+			nodes[j-1], nodes[j] = nodes[j], nodes[j-1]
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"treesketch/internal/query"
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+	"treesketch/internal/tsbuild"
+	"treesketch/internal/xmltree"
+)
+
+func TestEdgeExistenceMinKCertificate(t *testing.T) {
+	// Mixture {1,2,3}: the Paley-Zygmund estimate alone would be < 1, but
+	// MinK = 1 certifies universal presence.
+	e := sketch.Edge{Avg: 2, Sum: 6, SumSq: 14, MinK: 1}
+	if p := edgeExistence(e, 3); p != 1 {
+		t.Fatalf("P = %g, want 1 (MinK certificate)", p)
+	}
+	// Two-point {0,3} with 1 of 3 elements: P = 1/3 exactly.
+	e = sketch.Edge{Avg: 1, Sum: 3, SumSq: 9, MinK: 0}
+	if p := edgeExistence(e, 3); math.Abs(p-1.0/3) > 1e-12 {
+		t.Fatalf("P = %g, want 1/3", p)
+	}
+	// Degenerate.
+	if p := edgeExistence(sketch.Edge{}, 3); p != 0 {
+		t.Fatalf("P = %g, want 0", p)
+	}
+}
+
+func TestBranchSelExactAfterMergeOnUniversalPredicate(t *testing.T) {
+	// Entries with 1, 2, or 3 accessions merged into one cluster: the
+	// predicate [/acc] is true for every entry, and the MinK certificate
+	// keeps the estimate exact despite the merge.
+	tr := xmltree.MustCompact("r(e(acc),e(acc,acc),e(acc,acc,acc),e(acc),e(acc,acc))")
+	st := stable.Build(tr)
+	sk, _ := tsbuild.Build(st, tsbuild.Options{BudgetBytes: 1})
+	r := Approx(sk, query.MustParse("//e[/acc]"), Options{})
+	if got := r.Selectivity(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("selectivity = %g, want 5 (predicate universally true)", got)
+	}
+}
+
+func TestBranchSelTwoMomentOnRareBurstyPredicate(t *testing.T) {
+	// One of four movies has 3 awards; the rest none. After full merge the
+	// edge is {0,0,0,3}: P = (3/4)^2 / (9/4)... = Sum^2/(Count*SumSq) =
+	// 9/(4*9) = 1/4 — exactly the fraction with awards. PaperMode's rule
+	// (k = 0.75 < 1, single term) uses 0.75 instead.
+	tr := xmltree.MustCompact("r(m(aw,aw,aw),m(t),m(t),m(t))")
+	st := stable.Build(tr)
+	sk, _ := tsbuild.Build(st, tsbuild.Options{BudgetBytes: 1})
+	q := query.MustParse("//m[/aw]")
+	refined := Approx(sk, q, Options{}).Selectivity()
+	if math.Abs(refined-1) > 1e-9 {
+		t.Fatalf("refined selectivity = %g, want 1 (exact for two-point counts)", refined)
+	}
+	paper := Approx(sk, q, Options{PaperMode: true}).Selectivity()
+	if math.Abs(paper-3) > 1e-9 {
+		// 4 movies * 0.75 = 3: the Figure 8 estimate.
+		t.Fatalf("paper-mode selectivity = %g, want 3", paper)
+	}
+}
+
+func TestDisablePruneKeepsUnsatisfiedNodes(t *testing.T) {
+	tr := xmltree.MustCompact("r(a(b),a(c))")
+	st := stable.Build(tr)
+	sk := sketch.FromStable(st)
+	q := query.MustParse("//a{/b}")
+	pruned := Approx(sk, q, Options{})
+	raw := Approx(sk, q, Options{DisablePrune: true})
+	if len(raw.Nodes) <= len(pruned.Nodes) {
+		t.Fatalf("unpruned result (%d nodes) should exceed pruned (%d)", len(raw.Nodes), len(pruned.Nodes))
+	}
+}
+
+func TestApproxResultNodeIDsDeterministic(t *testing.T) {
+	tr := xmltree.MustCompact("r(x(f),y(f),z(f))")
+	st := stable.Build(tr)
+	sk := sketch.FromStable(st)
+	q := query.MustParse("//f")
+	a := Approx(sk, q, Options{})
+	b := Approx(sk, q, Options{})
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("node counts differ across runs")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Src != b.Nodes[i].Src || a.Nodes[i].Var != b.Nodes[i].Var {
+			t.Fatalf("node %d differs: %+v vs %+v", i, a.Nodes[i], b.Nodes[i])
+		}
+	}
+}
+
+func TestBestAssignmentSelNoPreds(t *testing.T) {
+	a := &approxer{}
+	e := embedding{nodes: []int{1, 2}, stepAts: [][]int{{0, 1}}}
+	steps := query.MustParse("//a/b").Root.Edges[0].Path.Steps
+	if got := a.bestAssignmentSel(steps, e); got != 1 {
+		t.Fatalf("sel = %g, want 1 for predicate-free steps", got)
+	}
+}

@@ -1,0 +1,295 @@
+package eval
+
+import (
+	"fmt"
+
+	"treesketch/internal/esd"
+	"treesketch/internal/query"
+	"treesketch/internal/xmltree"
+)
+
+// ExactResult is the ground-truth evaluation of a twig query over a
+// document: the nesting tree NT(Q) (Section 2) in lazily materializable
+// form, plus the exact number of binding tuples.
+type ExactResult struct {
+	Empty bool
+	// Tuples is the exact number of binding tuples (float64: counts are
+	// products of fanouts and can exceed int64 on large documents).
+	Tuples float64
+
+	ev *evaluator
+}
+
+// Exact evaluates q over the indexed document and returns the true result.
+// An element binds a variable only if every required (non-dashed) child
+// edge of that variable has at least one valid binding beneath it; dashed
+// edges (from the query's return clause) may be empty.
+func Exact(ix *Index, q *query.Query) *ExactResult {
+	ev := newEvaluator(ix, q)
+	r := &ExactResult{ev: ev}
+	root := ix.Doc.Root
+	if root == nil || !ev.valid(0, root) {
+		r.Empty = true
+		return r
+	}
+	r.Tuples = ev.tuples(0, root)
+	if r.Tuples == 0 {
+		r.Empty = true
+	}
+	return r
+}
+
+// evaluator carries per-query memo tables over one document.
+type evaluator struct {
+	ix     *Index
+	q      *query.Query
+	qnodes []*query.Node
+	qidx   map[*query.Node]int
+
+	matchMemo map[matchKey][]*xmltree.Node
+	validMemo map[memoKey]int8 // 0 unknown, 1 valid, 2 invalid
+	tupMemo   map[memoKey]float64
+	predMemo  map[predKey]bool
+}
+
+type memoKey struct {
+	q   int
+	oid int
+}
+
+type matchKey struct {
+	edge *query.Edge
+	oid  int
+}
+
+type predKey struct {
+	pred *query.Path
+	oid  int
+}
+
+func newEvaluator(ix *Index, q *query.Query) *evaluator {
+	ev := &evaluator{
+		ix:        ix,
+		q:         q,
+		qnodes:    q.Vars(),
+		qidx:      make(map[*query.Node]int),
+		matchMemo: make(map[matchKey][]*xmltree.Node),
+		validMemo: make(map[memoKey]int8),
+		tupMemo:   make(map[memoKey]float64),
+		predMemo:  make(map[predKey]bool),
+	}
+	for i, qn := range ev.qnodes {
+		ev.qidx[qn] = i
+	}
+	return ev
+}
+
+// path evaluates a path expression from element e, applying existential
+// predicates, and returns matched elements deduplicated in document order.
+func (ev *evaluator) path(e *xmltree.Node, p *query.Path) []*xmltree.Node {
+	cur := []*xmltree.Node{e}
+	for si := range p.Steps {
+		step := &p.Steps[si]
+		seen := make(map[int]bool)
+		var next []*xmltree.Node
+		for _, c := range cur {
+			var cands []*xmltree.Node
+			if step.Axis == query.Child {
+				cands = ev.ix.Children(c, step.Label)
+			} else {
+				cands = ev.ix.Descendants(c, step.Label)
+			}
+			for _, t := range cands {
+				if seen[t.OID] {
+					continue
+				}
+				if !ev.satisfiesPreds(t, step.Preds) {
+					continue
+				}
+				seen[t.OID] = true
+				next = append(next, t)
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+func (ev *evaluator) satisfiesPreds(e *xmltree.Node, preds []*query.Path) bool {
+	for _, pred := range preds {
+		k := predKey{pred, e.OID}
+		sat, ok := ev.predMemo[k]
+		if !ok {
+			sat = len(ev.path(e, pred)) > 0
+			ev.predMemo[k] = sat
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// matches returns the elements bound to edge.Child relative to a binding e
+// of the edge's source variable (path matches only; validity filtering is
+// separate).
+func (ev *evaluator) matches(edge *query.Edge, e *xmltree.Node) []*xmltree.Node {
+	k := matchKey{edge, e.OID}
+	if m, ok := ev.matchMemo[k]; ok {
+		return m
+	}
+	m := ev.path(e, edge.Path)
+	ev.matchMemo[k] = m
+	return m
+}
+
+// valid reports whether element e is a valid binding for query variable
+// qi: every required child edge must have at least one valid binding.
+func (ev *evaluator) valid(qi int, e *xmltree.Node) bool {
+	k := memoKey{qi, e.OID}
+	if v, ok := ev.validMemo[k]; ok {
+		return v == 1
+	}
+	// Mark invalid during computation; the query tree is acyclic so no
+	// recursion can revisit (qi, e), but keep the invariant obvious.
+	ev.validMemo[k] = 2
+	qn := ev.qnodes[qi]
+	ok := true
+	for _, edge := range qn.Edges {
+		if edge.Optional {
+			continue
+		}
+		found := false
+		for _, m := range ev.matches(edge, e) {
+			if ev.valid(ev.qidx[edge.Child], m) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		ev.validMemo[k] = 1
+	}
+	return ok
+}
+
+// tuples counts the binding tuples rooted at (qi, e): the product over
+// child edges of the summed tuples of valid matches, with empty optional
+// groups contributing a NULL binding (factor 1).
+func (ev *evaluator) tuples(qi int, e *xmltree.Node) float64 {
+	k := memoKey{qi, e.OID}
+	if v, ok := ev.tupMemo[k]; ok {
+		return v
+	}
+	qn := ev.qnodes[qi]
+	total := 1.0
+	for _, edge := range qn.Edges {
+		var s float64
+		for _, m := range ev.matches(edge, e) {
+			if ev.valid(ev.qidx[edge.Child], m) {
+				s += ev.tuples(ev.qidx[edge.Child], m)
+			}
+		}
+		if s == 0 {
+			if edge.Optional {
+				s = 1
+			} else {
+				total = 0
+				break
+			}
+		}
+		total *= s
+	}
+	ev.tupMemo[k] = total
+	return total
+}
+
+// NestingTree materializes the nesting tree NT(Q) as an XML tree (element
+// labels only). maxNodes caps the output (<= 0 selects a default cap);
+// exceeding it is an error.
+func (r *ExactResult) NestingTree(maxNodes int) (*xmltree.Tree, error) {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 22
+	}
+	t := xmltree.NewTree()
+	if r.Empty {
+		return t, nil
+	}
+	ev := r.ev
+	var build func(qi int, e *xmltree.Node) (*xmltree.Node, error)
+	build = func(qi int, e *xmltree.Node) (*xmltree.Node, error) {
+		if t.Size() >= maxNodes {
+			return nil, fmt.Errorf("eval: nesting tree exceeds %d nodes", maxNodes)
+		}
+		n := t.NewNode(e.Label)
+		for _, edge := range ev.qnodes[qi].Edges {
+			ci := ev.qidx[edge.Child]
+			for _, m := range ev.matches(edge, e) {
+				if !ev.valid(ci, m) {
+					continue
+				}
+				c, err := build(ci, m)
+				if err != nil {
+					return nil, err
+				}
+				n.Children = append(n.Children, c)
+			}
+		}
+		return n, nil
+	}
+	root, err := build(0, ev.ix.Doc.Root)
+	if err != nil {
+		return nil, err
+	}
+	t.Root = root
+	return t, nil
+}
+
+// ESDGraph converts the true nesting tree into the consolidated DAG form
+// consumed by the ESD metric, with labels tagged by query variable
+// ("q1:author") so that comparisons are restricted to bindings of the same
+// variable, per the paper's Section 6.1 methodology. Returns nil for an
+// empty result.
+func (r *ExactResult) ESDGraph() *esd.Node {
+	if r.Empty {
+		return nil
+	}
+	ev := r.ev
+	memo := make(map[memoKey]*esd.Node)
+	var build func(qi int, e *xmltree.Node) *esd.Node
+	build = func(qi int, e *xmltree.Node) *esd.Node {
+		k := memoKey{qi, e.OID}
+		if n, ok := memo[k]; ok {
+			return n
+		}
+		n := &esd.Node{Label: ev.qnodes[qi].Var + ":" + e.Label}
+		memo[k] = n
+		mults := make(map[*esd.Node]float64)
+		var order []*esd.Node
+		for _, edge := range ev.qnodes[qi].Edges {
+			ci := ev.qidx[edge.Child]
+			for _, m := range ev.matches(edge, e) {
+				if !ev.valid(ci, m) {
+					continue
+				}
+				c := build(ci, m)
+				if _, seen := mults[c]; !seen {
+					order = append(order, c)
+				}
+				mults[c]++
+			}
+		}
+		for _, c := range order {
+			n.Edges = append(n.Edges, esd.Edge{Child: c, Mult: mults[c]})
+		}
+		return n
+	}
+	return esd.Consolidate(build(0, ev.ix.Doc.Root))
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"testing"
+
+	"treesketch/internal/query"
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+func stableOfDoc(tr *xmltree.Tree) *stable.Synopsis { return stable.Build(tr) }
+
+func sketchOf(st *stable.Synopsis) *sketch.Sketch { return sketch.FromStable(st) }
+
+func TestExactEmptyDocument(t *testing.T) {
+	tr := xmltree.NewTree()
+	r := Exact(NewIndex(tr), query.MustParse("//a"))
+	if !r.Empty || r.Tuples != 0 {
+		t.Fatalf("empty doc: Empty=%v Tuples=%g", r.Empty, r.Tuples)
+	}
+	nt, err := r.NestingTree(0)
+	if err != nil || nt.Size() != 0 {
+		t.Fatalf("NestingTree of empty result: %v %v", nt.Size(), err)
+	}
+	if r.ESDGraph() != nil {
+		t.Fatal("ESDGraph of empty result not nil")
+	}
+	if got := r.BindingTuples(0); len(got) != 0 {
+		t.Fatalf("BindingTuples of empty result: %d", len(got))
+	}
+}
+
+func TestExactMixedAxes(t *testing.T) {
+	doc := "r(a(x(b),b),a(b))"
+	// /a//b: b at any depth under an a child of root.
+	if r := exactOf(doc, "/a//b"); r.Tuples != 3 {
+		t.Fatalf("/a//b tuples = %g, want 3", r.Tuples)
+	}
+	// /a/b: direct children only.
+	if r := exactOf(doc, "/a/b"); r.Tuples != 2 {
+		t.Fatalf("/a/b tuples = %g, want 2", r.Tuples)
+	}
+	// //x/b: b directly under any x.
+	if r := exactOf(doc, "//x/b"); r.Tuples != 1 {
+		t.Fatalf("//x/b tuples = %g, want 1", r.Tuples)
+	}
+}
+
+func TestExactMultiStepPredicate(t *testing.T) {
+	doc := "r(a(p(k(z))),a(p(k)),a(p))"
+	// Predicate with a two-step path: a's whose p has a k with a z.
+	if r := exactOf(doc, "//a[/p/k/z]"); r.Tuples != 1 {
+		t.Fatalf("tuples = %g, want 1", r.Tuples)
+	}
+	if r := exactOf(doc, "//a[/p/k]"); r.Tuples != 2 {
+		t.Fatalf("tuples = %g, want 2", r.Tuples)
+	}
+}
+
+func TestExactDeepQueryTree(t *testing.T) {
+	doc := "r(s(a(b(c(d)))))"
+	r := exactOf(doc, "//a{/b{/c{/d}}}")
+	if r.Tuples != 1 {
+		t.Fatalf("tuples = %g, want 1", r.Tuples)
+	}
+	nt, err := r.NestingTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r, a, b, c, d.
+	if nt.Size() != 5 {
+		t.Fatalf("nesting tree size %d, want 5: %s", nt.Size(), nt.Compact())
+	}
+}
+
+func TestExactSiblingVariableIndependence(t *testing.T) {
+	// q2 and q3 bind under the same q1 elements independently.
+	doc := "r(a(b,b,c),a(b,c,c))"
+	r := exactOf(doc, "//a{/b,/c}")
+	// a1: 2 b x 1 c = 2; a2: 1 b x 2 c = 2; total 4.
+	if r.Tuples != 4 {
+		t.Fatalf("tuples = %g, want 4", r.Tuples)
+	}
+}
+
+func TestIndexEmptyDoc(t *testing.T) {
+	ix := NewIndex(xmltree.NewTree())
+	if ix.Doc.Size() != 0 {
+		t.Fatal("unexpected size")
+	}
+}
+
+func TestApproxOnEmptySketchlikeDoc(t *testing.T) {
+	tr := xmltree.MustCompact("r")
+	st := stableOfDoc(tr)
+	r := Approx(sketchOf(st), query.MustParse("//a"), Options{})
+	if !r.Empty {
+		t.Fatal("query over childless root should be empty")
+	}
+}

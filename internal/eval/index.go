@@ -1,0 +1,98 @@
+// Package eval evaluates twig queries both exactly over XML documents
+// (producing the true nesting tree NT(Q) and binding-tuple counts — the
+// ground truth of the paper's experiments) and approximately over
+// TreeSketch synopses (the EvalQuery / EvalEmbed algorithms of Figures 7
+// and 8), including the selectivity-estimation framework of Section 4.4.
+package eval
+
+import (
+	"sort"
+
+	"treesketch/internal/xmltree"
+)
+
+// Index accelerates path evaluation over a document: it assigns pre-order
+// positions, records each element's subtree interval, and maintains
+// per-label position lists so descendant steps resolve with binary search.
+type Index struct {
+	Doc *xmltree.Tree
+
+	order   []*xmltree.Node // nodes by pre-order position
+	begin   []int           // OID -> pre-order position
+	end     []int           // OID -> position just past the subtree
+	byLabel map[string][]int
+}
+
+// NewIndex builds the evaluation index for doc in O(|T|) time.
+func NewIndex(doc *xmltree.Tree) *Index {
+	ix := &Index{
+		Doc:     doc,
+		order:   make([]*xmltree.Node, 0, doc.Size()),
+		begin:   make([]int, doc.OIDSpace()),
+		end:     make([]int, doc.OIDSpace()),
+		byLabel: make(map[string][]int),
+	}
+	if doc.Root == nil {
+		return ix
+	}
+	// Iterative DFS computing begin/end intervals.
+	type frame struct {
+		n *xmltree.Node
+		i int
+	}
+	stack := []frame{{doc.Root, 0}}
+	ix.enter(doc.Root)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(f.n.Children) {
+			c := f.n.Children[f.i]
+			f.i++
+			ix.enter(c)
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		ix.end[f.n.OID] = len(ix.order)
+		stack = stack[:len(stack)-1]
+	}
+	return ix
+}
+
+func (ix *Index) enter(n *xmltree.Node) {
+	ix.begin[n.OID] = len(ix.order)
+	ix.byLabel[n.Label] = append(ix.byLabel[n.Label], len(ix.order))
+	ix.order = append(ix.order, n)
+}
+
+// Children returns e's direct children with the given label, in document
+// order.
+func (ix *Index) Children(e *xmltree.Node, label string) []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, c := range e.Children {
+		if c.Label == label {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Descendants returns e's proper descendants with the given label, in
+// document order.
+func (ix *Index) Descendants(e *xmltree.Node, label string) []*xmltree.Node {
+	positions := ix.byLabel[label]
+	lo := ix.begin[e.OID] + 1
+	hi := ix.end[e.OID]
+	i := sort.SearchInts(positions, lo)
+	var out []*xmltree.Node
+	for ; i < len(positions) && positions[i] < hi; i++ {
+		out = append(out, ix.order[positions[i]])
+	}
+	return out
+}
+
+// IsAncestor reports whether a is a proper ancestor of d.
+func (ix *Index) IsAncestor(a, d *xmltree.Node) bool {
+	if a.OID == d.OID {
+		return false
+	}
+	return ix.begin[a.OID] <= ix.begin[d.OID] && ix.begin[d.OID] < ix.end[a.OID]
+}

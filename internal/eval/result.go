@@ -1,0 +1,279 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"treesketch/internal/esd"
+	"treesketch/internal/xmltree"
+)
+
+// RNode is one node of a result synopsis TS_Q: it represents the elements
+// of one source-synopsis node that appear in the bindings of one query
+// variable (the uQ(u, q) association of Section 4.3).
+type RNode struct {
+	ID    int
+	Var   string // query variable name ("q1")
+	VarID int    // pre-order index of the variable in the query tree
+	Label string // element tag
+	Src   int    // source synopsis node ID
+	Count float64
+	Edges []REdge
+}
+
+// REdge carries the estimated per-element descendant count k from a parent
+// result node to a child result node.
+type REdge struct {
+	Child int
+	K     float64
+}
+
+// addK accumulates descendant count toward a child result node (Figure 7
+// line 12: counts along multiple synopsis paths to the same node add up).
+func (n *RNode) addK(child int, k float64) {
+	for i := range n.Edges {
+		if n.Edges[i].Child == child {
+			n.Edges[i].K += k
+			return
+		}
+	}
+	n.Edges = append(n.Edges, REdge{Child: child, K: k})
+}
+
+// Result is the output of approximate query evaluation: a TreeSketch-style
+// synopsis of the (approximate) nesting tree.
+type Result struct {
+	Nodes []*RNode
+	Root  int
+	// Empty marks a query answer known to be empty (a required variable
+	// found no bindings).
+	Empty bool
+	// Truncated records that embedding enumeration hit MaxEmbeddings; the
+	// counts are then lower bounds.
+	Truncated bool
+	// VarOptional marks, per query-variable index, whether the variable is
+	// bound through a dashed (optional) edge; used by Selectivity.
+	VarOptional []bool
+}
+
+// Selectivity estimates the number of binding tuples of the query
+// (Section 4.4): a single bottom-up pass computes, per result node, the
+// average number of binding tuples per element of its extent; the estimate
+// is the value at the root.
+func (r *Result) Selectivity() float64 {
+	if r.Empty || len(r.Nodes) == 0 {
+		return 0
+	}
+	// Group each node's edges by child variable. A node's
+	// tuples-per-element is the product over child variables of the summed
+	// k * tuples(child). An absent variable contributes factor 1 (for
+	// required variables the pruning pass already removed nodes missing
+	// them); an optional variable's factor is clamped to at least 1, since
+	// elements without matches still contribute a NULL binding.
+	memo := make([]float64, len(r.Nodes))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var tuples func(id int) float64
+	tuples = func(id int) float64 {
+		if memo[id] >= 0 {
+			return memo[id]
+		}
+		memo[id] = 0 // cycle guard; result graphs are DAGs
+		rn := r.Nodes[id]
+		perVar := make(map[int]float64)
+		for _, e := range rn.Edges {
+			perVar[r.Nodes[e.Child].VarID] += e.K * tuples(e.Child)
+		}
+		total := 1.0
+		for v, s := range perVar {
+			if v < len(r.VarOptional) && r.VarOptional[v] && s < 1 {
+				s = 1
+			}
+			total *= s
+		}
+		memo[id] = total
+		return total
+	}
+	return tuples(r.Root)
+}
+
+// esdExpandCap bounds the materialized approximate nesting tree used for
+// ESD comparisons; beyond it the fractional synopsis graph is compared
+// directly.
+const esdExpandCap = 1 << 19
+
+// ESDGraph produces the DAG form of the approximate nesting tree for the
+// ESD metric, with variable-tagged labels matching ExactResult.ESDGraph.
+//
+// Following the paper (the approximate answer is "retrieved by expanding
+// TS_Q"), the result synopsis is first expanded: fractional average counts
+// materialize as a mixture of integer counts (stochastic rounding with
+// carry), which is what the metric should judge. Very large answers fall
+// back to comparing the synopsis graph directly, whose fractional
+// multiplicities the metric also accepts. Returns nil for an empty result.
+func (r *Result) ESDGraph() *esd.Node {
+	if r.Empty || len(r.Nodes) == 0 {
+		return nil
+	}
+	if t, err := r.expand(esdExpandCap, true); err == nil {
+		return esd.FromTree(t, nil)
+	}
+	return r.ESDGraphSynopsis()
+}
+
+// ESDGraphSynopsis converts the result synopsis directly into the metric's
+// DAG form, with fractional edge multiplicities. Returns nil for an empty
+// result.
+func (r *Result) ESDGraphSynopsis() *esd.Node {
+	if r.Empty || len(r.Nodes) == 0 {
+		return nil
+	}
+	nodes := make([]*esd.Node, len(r.Nodes))
+	for i, rn := range r.Nodes {
+		nodes[i] = &esd.Node{Label: rn.Var + ":" + rn.Label}
+	}
+	for i, rn := range r.Nodes {
+		for _, e := range rn.Edges {
+			if e.K > 0 {
+				nodes[i].Edges = append(nodes[i].Edges, esd.Edge{Child: nodes[e.Child], Mult: e.K})
+			}
+		}
+	}
+	return esd.Consolidate(nodes[r.Root])
+}
+
+// Expand materializes an approximate nesting tree: fractional counts are
+// realized with deterministic stochastic rounding, exactly like
+// sketch.Expand. maxNodes <= 0 selects a default cap.
+func (r *Result) Expand(maxNodes int) (*xmltree.Tree, error) {
+	return r.expand(maxNodes, false)
+}
+
+func (r *Result) expand(maxNodes int, varLabels bool) (*xmltree.Tree, error) {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 20
+	}
+	t := xmltree.NewTree()
+	if r.Empty || len(r.Nodes) == 0 {
+		return t, nil
+	}
+	// Edges of one result node that bind the same query variable are
+	// alternatives (one per surviving source-cluster shape), so expansion
+	// realizes the *group* total per element — the number of bindings of
+	// that variable — with a rounding carry, and then allocates the
+	// children among the group's edges by accumulated credit. Drawing each
+	// edge independently would fabricate elements with zero or many
+	// bindings where every real element has, say, exactly one.
+	type group struct {
+		varID int
+		total float64
+		edges []REdge
+		carry float64
+		// credit accumulates per-edge entitlement; children go to the
+		// highest-credit edge first.
+		credit []float64
+	}
+	groupsOf := make(map[int][]*group)
+	groupFor := func(id int) []*group {
+		if gs, ok := groupsOf[id]; ok {
+			return gs
+		}
+		rn := r.Nodes[id]
+		edges := append([]REdge(nil), rn.Edges...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i].Child < edges[j].Child })
+		byVar := make(map[int]*group)
+		var gs []*group
+		for _, e := range edges {
+			v := r.Nodes[e.Child].VarID
+			g := byVar[v]
+			if g == nil {
+				g = &group{varID: v}
+				byVar[v] = g
+				gs = append(gs, g)
+			}
+			g.total += e.K
+			g.edges = append(g.edges, e)
+		}
+		sort.Slice(gs, func(i, j int) bool { return gs[i].varID < gs[j].varID })
+		for _, g := range gs {
+			g.credit = make([]float64, len(g.edges))
+			// Dithered initial phase so sibling groups do not fire in
+			// lockstep across elements.
+			h := uint64(id)*0x9e3779b97f4a7c15 ^ uint64(g.varID)*0xbf58476d1ce4e5b9
+			h ^= h >> 31
+			h *= 0x94d049bb133111eb
+			h ^= h >> 29
+			g.carry = float64(h%(1<<20)) / (1 << 20)
+		}
+		groupsOf[id] = gs
+		return gs
+	}
+
+	var build func(id int) (*xmltree.Node, error)
+	build = func(id int) (*xmltree.Node, error) {
+		if t.Size() >= maxNodes {
+			return nil, fmt.Errorf("eval: expansion exceeds %d nodes", maxNodes)
+		}
+		rn := r.Nodes[id]
+		label := rn.Label
+		if varLabels {
+			label = rn.Var + ":" + rn.Label
+		}
+		n := t.NewNode(label)
+		for _, g := range groupFor(id) {
+			want := g.total + g.carry
+			count := int(want)
+			g.carry = want - float64(count)
+			for i := range g.edges {
+				g.credit[i] += g.edges[i].K
+			}
+			for j := 0; j < count; j++ {
+				best := 0
+				for i := 1; i < len(g.credit); i++ {
+					if g.credit[i] > g.credit[best] {
+						best = i
+					}
+				}
+				g.credit[best]--
+				c, err := build(g.edges[best].Child)
+				if err != nil {
+					return nil, err
+				}
+				n.Children = append(n.Children, c)
+			}
+		}
+		return n, nil
+	}
+	root, err := build(r.Root)
+	if err != nil {
+		return nil, err
+	}
+	t.Root = root
+	return t, nil
+}
+
+// TotalNodes estimates the number of elements in the approximate nesting
+// tree (sum of extent counts).
+func (r *Result) TotalNodes() float64 {
+	var s float64
+	for _, rn := range r.Nodes {
+		s += rn.Count
+	}
+	return s
+}
+
+// RelativeError computes the paper's error measure for selectivity
+// estimation (Section 6.1): |true - est| / max(true, sanity), where sanity
+// guards against inflated percentages on low-count queries.
+func RelativeError(truth, est, sanity float64) float64 {
+	denom := math.Max(truth, sanity)
+	if denom <= 0 {
+		if est == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(truth-est) / denom
+}

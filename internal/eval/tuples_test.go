@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"treesketch/internal/query"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+func tuplesOf(doc, q string, limit int) ([]BindingTuple, *ExactResult) {
+	tr := xmltree.MustCompact(doc)
+	r := Exact(NewIndex(tr), query.MustParse(q))
+	return r.BindingTuples(limit), r
+}
+
+func TestBindingTuplesSimple(t *testing.T) {
+	ts, r := tuplesOf("r(a,a,a)", "//a", 0)
+	if len(ts) != 3 || r.Tuples != 3 {
+		t.Fatalf("%d tuples (count %g), want 3", len(ts), r.Tuples)
+	}
+	for _, tup := range ts {
+		if len(tup) != 2 {
+			t.Fatalf("tuple arity %d, want 2 (q0, q1)", len(tup))
+		}
+		if tup[0].Label != "r" || tup[1].Label != "a" {
+			t.Fatalf("tuple labels %s,%s", tup[0].Label, tup[1].Label)
+		}
+	}
+	// Distinct a's.
+	if ts[0][1].OID == ts[1][1].OID {
+		t.Fatal("duplicate bindings")
+	}
+}
+
+func TestBindingTuplesJoin(t *testing.T) {
+	// (a1 with b1), (a2 with b2, b3): 3 (a,b) tuples.
+	ts, r := tuplesOf("r(a(b),a(b,b))", "//a{/b}", 0)
+	if len(ts) != 3 || r.Tuples != 3 {
+		t.Fatalf("%d tuples (count %g), want 3", len(ts), r.Tuples)
+	}
+}
+
+func TestBindingTuplesOptionalNull(t *testing.T) {
+	ts, r := tuplesOf("r(a(b),a(c))", "//a{/b?}", 0)
+	if len(ts) != 2 || r.Tuples != 2 {
+		t.Fatalf("%d tuples (count %g), want 2", len(ts), r.Tuples)
+	}
+	nulls := 0
+	for _, tup := range ts {
+		if tup[2] == nil {
+			nulls++
+		}
+	}
+	if nulls != 1 {
+		t.Fatalf("null bindings = %d, want 1", nulls)
+	}
+}
+
+func TestBindingTuplesProductShape(t *testing.T) {
+	// Two papers x two keywords each... a(p(k,k),p(k,k)): q1=a (1), then
+	// p choices (2) x per-p k choices (2) = 4 tuples.
+	ts, r := tuplesOf("r(a(p(k,k),p(k,k)))", "//a{/p{/k}}", 0)
+	if len(ts) != 4 || r.Tuples != 4 {
+		t.Fatalf("%d tuples (count %g), want 4", len(ts), r.Tuples)
+	}
+}
+
+func TestBindingTuplesSiblingProduct(t *testing.T) {
+	// Sibling variables multiply: a with 2 b's and 3 c's -> 6 tuples.
+	ts, r := tuplesOf("r(a(b,b,c,c,c))", "//a{/b,/c}", 0)
+	if len(ts) != 6 || r.Tuples != 6 {
+		t.Fatalf("%d tuples (count %g), want 6", len(ts), r.Tuples)
+	}
+}
+
+func TestBindingTuplesLimit(t *testing.T) {
+	ts, _ := tuplesOf("r(a*50)", "//a", 10)
+	if len(ts) != 10 {
+		t.Fatalf("limit ignored: %d tuples", len(ts))
+	}
+}
+
+func TestBindingTuplesEmpty(t *testing.T) {
+	ts, r := tuplesOf("r(a)", "//z", 0)
+	if len(ts) != 0 || !r.Empty {
+		t.Fatalf("expected no tuples, got %d", len(ts))
+	}
+}
+
+func TestPropBindingTuplesMatchCount(t *testing.T) {
+	// Enumerated tuple count equals the counted Tuples value whenever it
+	// fits under the limit.
+	f := func(seed uint64) bool {
+		tr := recursiveDoc(seed)
+		st := stable.Build(tr)
+		ix := NewIndex(tr)
+		for _, q := range query.Generate(st, 4, query.GenOptions{Seed: int64(seed % (1 << 29))}) {
+			r := Exact(ix, q)
+			if r.Empty || r.Tuples > 3000 {
+				continue
+			}
+			ts := r.BindingTuples(5000)
+			if float64(len(ts)) != r.Tuples {
+				t.Logf("seed %d: %s: enumerated %d, counted %g", seed, q, len(ts), r.Tuples)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

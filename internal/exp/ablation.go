@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"time"
+
+	"treesketch/internal/eval"
+	"treesketch/internal/query"
+	"treesketch/internal/tsbuild"
+)
+
+// AblationRow reports one TSBuild configuration of the construction
+// ablation: how the candidate-pool design choices of Section 4.2 (bounded
+// heap size Uh, pool regeneration threshold Lh, windowed pairing for
+// oversized groups) trade construction time against synopsis quality.
+type AblationRow struct {
+	Name      string
+	Elapsed   time.Duration
+	SqErr     float64
+	PairEvals int
+	Merges    int
+}
+
+// AblationPool sweeps the candidate-pool parameters on one dataset at one
+// budget: the paper's default (Uh=10000, Lh=100), a tiny pool, a huge
+// pool, and aggressive windowed pairing. Quality is the squared error of
+// the resulting synopsis (the workload-independent metric TSBuild
+// optimizes).
+func (r *Runner) AblationPool(name string, budgetKB int) []AblationRow {
+	st := r.Stable(name)
+	configs := []struct {
+		label string
+		opts  tsbuild.Options
+	}{
+		{"default (Uh=10000,Lh=100)", tsbuild.Options{}},
+		{"tiny pool (Uh=200,Lh=20)", tsbuild.Options{HeapUpper: 200, HeapLower: 20}},
+		{"huge pool (Uh=100000)", tsbuild.Options{HeapUpper: 100000, HeapLower: 100}},
+		{"aggressive windowing (GroupCap=8,W=4)", tsbuild.Options{GroupCap: 8, PairWindow: 4}},
+	}
+	rows := make([]AblationRow, 0, len(configs))
+	for _, c := range configs {
+		c.opts.BudgetBytes = budgetKB * 1024
+		_, stats := tsbuild.Build(st, c.opts)
+		rows = append(rows, AblationRow{
+			Name:      c.label,
+			Elapsed:   stats.Elapsed,
+			SqErr:     stats.FinalSqErr,
+			PairEvals: stats.PairEvals,
+			Merges:    stats.Merges,
+		})
+	}
+	r.printf("\nAblation: candidate-pool design (%s @ %d KB)\n", name, budgetKB)
+	r.printf("%-40s %12s %14s %12s %10s\n", "Configuration", "Time", "SqErr", "PairEvals", "Merges")
+	for _, row := range rows {
+		r.printf("%-40s %12s %14.1f %12d %10d\n",
+			row.Name, row.Elapsed.Round(time.Millisecond), row.SqErr, row.PairEvals, row.Merges)
+	}
+	return rows
+}
+
+// NegativeRow reports the negative-workload sanity check for one dataset.
+type NegativeRow struct {
+	Name    string
+	Queries int
+	// EmptyAnswers counts approximate answers correctly reported empty;
+	// the paper notes TreeSketches "consistently produce empty answers as
+	// approximations" on negative workloads.
+	EmptyAnswers int
+}
+
+// NegativeWorkload verifies the claim of Section 6.1 on negative
+// workloads: queries guaranteed to have empty results (their final step
+// targets a label absent from the document) must produce empty
+// approximate answers over a compressed TreeSketch.
+func (r *Runner) NegativeWorkload(budgetKB int) []NegativeRow {
+	rows := make([]NegativeRow, 0, len(TXNames()))
+	for _, name := range TXNames() {
+		st := r.Stable(name)
+		ts := r.buildTS(name, budgetKB)
+		qs := query.Generate(st, r.cfg.WorkloadSize, query.GenOptions{Seed: r.cfg.Seed + 3})
+		row := NegativeRow{Name: name}
+		for _, q := range qs {
+			neg := negate(q)
+			if neg == nil {
+				continue
+			}
+			row.Queries++
+			if eval.Approx(ts, neg, eval.Options{}).Empty {
+				row.EmptyAnswers++
+			}
+		}
+		rows = append(rows, row)
+	}
+	r.printf("\nNegative workloads (budget %d KB)\n", budgetKB)
+	r.printf("%-10s %10s %16s\n", "Data Set", "Queries", "Empty Answers")
+	for _, row := range rows {
+		r.printf("%-10s %10d %16d\n", row.Name, row.Queries, row.EmptyAnswers)
+	}
+	return rows
+}
+
+// negate rewrites a positive query into a guaranteed-negative one by
+// retargeting the first required path's final step at a label that cannot
+// occur. Returns nil if the query has no required edge.
+func negate(q *query.Query) *query.Query {
+	neg, err := query.Parse(q.String())
+	if err != nil {
+		return nil
+	}
+	for _, e := range neg.Root.Edges {
+		if e.Optional {
+			continue
+		}
+		e.Path.Steps[len(e.Path.Steps)-1].Label = "no-such-label"
+		return neg
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblationPool(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	rows := r.AblationPool("IMDB-TX", 2)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if row.Elapsed <= 0 {
+			t.Errorf("%s: no time recorded", row.Name)
+		}
+		if row.PairEvals == 0 {
+			t.Errorf("%s: no pair evaluations", row.Name)
+		}
+	}
+	// A huge pool explores at least as many pairs as a tiny one.
+	if rows[2].PairEvals < rows[1].PairEvals {
+		t.Errorf("huge pool evaluated %d pairs, tiny %d", rows[2].PairEvals, rows[1].PairEvals)
+	}
+}
+
+func TestNegativeWorkloadAllEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	rows := r.NegativeWorkload(2)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if row.Queries == 0 {
+			t.Errorf("%s: no negative queries generated", row.Name)
+			continue
+		}
+		// The paper's observation: negative queries yield empty
+		// approximate answers.
+		if row.EmptyAnswers != row.Queries {
+			t.Errorf("%s: %d/%d negative answers empty", row.Name, row.EmptyAnswers, row.Queries)
+		}
+	}
+}
+
+func TestRunIncludesExtensions(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := Run([]string{"negative"}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run([]string{"ablation"}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTimes(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.LargeScale = 3000
+	rows := NewRunner(cfg).BuildTimes()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if row.Elements <= 0 || row.StableTime <= 0 || row.SketchTime <= 0 {
+			t.Errorf("%s: degenerate row %+v", row.Name, row)
+		}
+		// At this tiny scale the stable summaries may already fit 50KB, so
+		// zero merges is legitimate; Merges is asserted at full scale by
+		// the harness run itself.
+	}
+}
+
+func TestRefinementAblation(t *testing.T) {
+	var buf bytes.Buffer
+	rows := NewRunner(tinyConfig(&buf)).RefinementAblation(2)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if row.QueriesCovered == 0 {
+			t.Errorf("%s: no queries covered", row.Dataset)
+		}
+		if row.RefinedESD < 0 || row.PaperESD < 0 {
+			t.Errorf("%s: negative ESD %+v", row.Dataset, row)
+		}
+	}
+}

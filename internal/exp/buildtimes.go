@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"time"
+
+	"treesketch/internal/stable"
+	"treesketch/internal/tsbuild"
+)
+
+// BuildTimeRow reports summarization and compression cost for one large
+// dataset (the paper quotes these alongside Figure 13: 2.5 min – 4 h on
+// 2004 hardware).
+type BuildTimeRow struct {
+	Name       string
+	Elements   int
+	StableTime time.Duration // document -> count-stable summary
+	SketchTime time.Duration // stable summary -> 50KB TreeSketch
+	Merges     int
+}
+
+// BuildTimes measures end-to-end synopsis construction cost on the large
+// datasets: BuildStable over the document plus TSBuild down to a 50KB
+// budget.
+func (r *Runner) BuildTimes() []BuildTimeRow {
+	rows := make([]BuildTimeRow, 0, len(LargeNames()))
+	for _, name := range LargeNames() {
+		doc := r.Doc(name)
+		t0 := time.Now()
+		st := stable.Build(doc)
+		stableTime := time.Since(t0)
+		_, stats := tsbuild.Build(st, tsbuild.Options{BudgetBytes: 50 * 1024})
+		rows = append(rows, BuildTimeRow{
+			Name:       name,
+			Elements:   doc.Size(),
+			StableTime: stableTime,
+			SketchTime: stats.Elapsed,
+			Merges:     stats.Merges,
+		})
+	}
+	r.printf("\nConstruction cost on large data sets (50 KB TreeSketch)\n")
+	r.printf("%-10s %12s %14s %14s %10s\n", "Data Set", "Elements", "BuildStable", "TSBuild", "Merges")
+	for _, row := range rows {
+		r.printf("%-10s %12d %14s %14s %10d\n",
+			row.Name, row.Elements, row.StableTime.Round(time.Millisecond),
+			row.SketchTime.Round(time.Millisecond), row.Merges)
+	}
+	return rows
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// CSVDir, when set on a Runner via SetCSVDir, receives one CSV file per
+// experiment (table1.csv, fig11-XMark-TX.csv, ...), so results can be
+// plotted or diffed across runs without scraping the text output.
+func (r *Runner) SetCSVDir(dir string) error {
+	if dir == "" {
+		r.csvDir = ""
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("exp: csv dir: %w", err)
+	}
+	r.csvDir = dir
+	return nil
+}
+
+func (r *Runner) writeCSV(name string, header []string, rows [][]string) {
+	if r.csvDir == "" {
+		return
+	}
+	path := filepath.Join(r.csvDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		r.printf("csv: %v\n", err)
+		return
+	}
+	w := csv.NewWriter(f)
+	w.Write(header)
+	for _, row := range rows {
+		w.Write(row)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		r.printf("csv: %v\n", err)
+	}
+	f.Close()
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func (r *Runner) csvTable1(rows []Table1Row) {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		out[i] = []string{row.Name, strconv.Itoa(row.Elements), f64(row.FileKB), f64(row.StableKB), strconv.Itoa(row.StableCls)}
+	}
+	r.writeCSV("table1", []string{"dataset", "elements", "file_kb", "stable_kb", "classes"}, out)
+}
+
+func (r *Runner) csvTable2(rows []Table2Row) {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		out[i] = []string{row.Name, strconv.Itoa(row.Queries), f64(row.AvgTuples)}
+	}
+	r.writeCSV("table2", []string{"dataset", "queries", "avg_binding_tuples"}, out)
+}
+
+func (r *Runner) csvTable3(rows []Table3Row) {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		out[i] = []string{row.Name, durS(row.TreeSketch), durS(row.TwigXSketch)}
+	}
+	r.writeCSV("table3", []string{"dataset", "treesketch_seconds", "twigxsketch_seconds"}, out)
+}
+
+func durS(d time.Duration) string { return f64(d.Seconds()) }
+
+func (r *Runner) csvCurve(name string, c Curve, withXS bool) {
+	header := []string{"budget_kb", "treesketch"}
+	if withXS {
+		header = append(header, "twigxsketch")
+	}
+	rows := make([][]string, len(c.Points))
+	for i, p := range c.Points {
+		row := []string{strconv.Itoa(p.BudgetKB), f64(p.TreeSketch)}
+		if withXS {
+			row = append(row, f64(p.XSketch))
+		}
+		rows[i] = row
+	}
+	r.writeCSV(name, header, rows)
+}

@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	if err := r.SetCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := r.Table1()
+	c := r.Figure12("XMark-TX")
+
+	f, err := os.Open(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(rows)+1 {
+		t.Fatalf("table1.csv has %d records, want %d", len(recs), len(rows)+1)
+	}
+	if recs[0][0] != "dataset" {
+		t.Fatalf("header %v", recs[0])
+	}
+	if el, _ := strconv.Atoi(recs[1][1]); el != rows[0].Elements {
+		t.Fatalf("elements %s, want %d", recs[1][1], rows[0].Elements)
+	}
+
+	f2, err := os.Open(filepath.Join(dir, "fig12-XMark-TX.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	recs2, err := csv.NewReader(f2).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != len(c.Points)+1 {
+		t.Fatalf("fig12 csv has %d records, want %d", len(recs2), len(c.Points)+1)
+	}
+	if recs2[0][2] != "twigxsketch" {
+		t.Fatalf("header %v", recs2[0])
+	}
+}
+
+func TestCSVDisabledByDefault(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	r.Table1() // must not panic or write anywhere
+}
+
+func TestRunWithCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := Run([]string{"table1"}, tinyConfig(&buf), dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestSVGExport(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRunner(tinyConfig(nil))
+	if err := r.SetCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Figure12("IMDB-TX")
+	data, err := os.ReadFile(filepath.Join(dir, "fig12-IMDB-TX.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(data)
+	for _, want := range []string{"<svg", "polyline", "TreeSketch", "Twig-XSketch", "Synopsis Size (KB)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if len(c.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// One circle marker per TreeSketch point.
+	if got := strings.Count(svg, "<circle"); got != len(c.Points) {
+		t.Errorf("markers = %d, want %d", got, len(c.Points))
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:         "0",
+		0.5:       "0.50",
+		42:        "42",
+		1500:      "1.5k",
+		2_500_000: "2.5M",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestForEachItemParallelPath(t *testing.T) {
+	old := maxWorkers
+	maxWorkers = func() int { return 4 }
+	defer func() { maxWorkers = old }()
+
+	w := make([]WorkloadItem, 37)
+	for i := range w {
+		w[i].Truth = float64(i)
+	}
+	got := forEachItem(w, func(i int, item WorkloadItem) [2]float64 {
+		return [2]float64{item.Truth * 2, item.Truth * 3}
+	})
+	for i := range w {
+		if got[i][0] != float64(i)*2 || got[i][1] != float64(i)*3 {
+			t.Fatalf("item %d = %v", i, got[i])
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's Section 6 on the synthesized datasets (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// outcomes).
+//
+// The harness scales the paper's setup down by default so a full run
+// completes in minutes: smaller documents, 100-query workloads instead of
+// 1000, and the same 10-50KB budget grid. All knobs are in Config.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"treesketch/internal/datagen"
+	"treesketch/internal/esd"
+	"treesketch/internal/eval"
+	"treesketch/internal/query"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// TXScale is the element count of the -TX documents (paper: ~100-180k;
+	// default 40000).
+	TXScale int
+	// LargeScale is the element count of the large documents (paper:
+	// 237k-2M; default 150000).
+	LargeScale int
+	// WorkloadSize is the number of evaluation queries per dataset (paper:
+	// 1000; default 100).
+	WorkloadSize int
+	// BudgetsKB is the synopsis budget grid (paper and default:
+	// 10,20,30,40,50).
+	BudgetsKB []int
+	// XSWorkload is the sample-workload size driving twig-XSketch
+	// construction (default 100, matching the evaluation workload scale:
+	// workload-driven refinement is the baseline's defining cost).
+	XSWorkload int
+	// Seed makes the whole run deterministic.
+	Seed int64
+	// Out receives formatted tables; nil discards them.
+	Out io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.TXScale <= 0 {
+		c.TXScale = 40000
+	}
+	if c.LargeScale <= 0 {
+		c.LargeScale = 150000
+	}
+	if c.WorkloadSize <= 0 {
+		c.WorkloadSize = 100
+	}
+	if len(c.BudgetsKB) == 0 {
+		c.BudgetsKB = []int{10, 20, 30, 40, 50}
+	}
+	if c.XSWorkload <= 0 {
+		c.XSWorkload = 100
+	}
+	return c
+}
+
+// Runner caches documents, summaries, and workloads across experiments.
+type Runner struct {
+	cfg    Config
+	csvDir string
+
+	docs      map[string]*xmltree.Tree
+	stables   map[string]*stable.Synopsis
+	indexes   map[string]*eval.Index
+	workloads map[workloadKey][]WorkloadItem
+}
+
+type workloadKey struct {
+	name    string
+	n       int
+	withESD bool
+}
+
+// NewRunner returns a harness for the given configuration.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{
+		cfg:       cfg.withDefaults(),
+		docs:      make(map[string]*xmltree.Tree),
+		stables:   make(map[string]*stable.Synopsis),
+		indexes:   make(map[string]*eval.Index),
+		workloads: make(map[workloadKey][]WorkloadItem),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// TXNames lists the small-document dataset names used in the comparative
+// experiments, in the paper's order.
+func TXNames() []string { return []string{"IMDB-TX", "XMark-TX", "SProt-TX"} }
+
+// LargeNames lists the large-document dataset names (Table 1, Figure 13).
+func LargeNames() []string { return []string{"IMDB", "XMark", "SProt", "DBLP"} }
+
+// dataset resolves a harness dataset name to its generator and scale.
+func (r *Runner) datasetSpec(name string) (datagen.Dataset, int) {
+	scale := r.cfg.LargeScale
+	base := name
+	if len(name) > 3 && name[len(name)-3:] == "-TX" {
+		scale = r.cfg.TXScale
+		base = name[:len(name)-3]
+	}
+	switch base {
+	case "IMDB":
+		return datagen.IMDB, scale
+	case "XMark":
+		return datagen.XMark, scale
+	case "SProt":
+		return datagen.SwissProt, scale
+	case "DBLP":
+		return datagen.DBLP, scale
+	}
+	panic(fmt.Sprintf("exp: unknown dataset %q", name))
+}
+
+// Doc returns (generating and caching) the document for a dataset name.
+func (r *Runner) Doc(name string) *xmltree.Tree {
+	if t, ok := r.docs[name]; ok {
+		return t
+	}
+	d, scale := r.datasetSpec(name)
+	t := datagen.Generate(d, scale, r.cfg.Seed)
+	r.docs[name] = t
+	return t
+}
+
+// Stable returns the cached count-stable summary of a dataset.
+func (r *Runner) Stable(name string) *stable.Synopsis {
+	if s, ok := r.stables[name]; ok {
+		return s
+	}
+	s := stable.Build(r.Doc(name))
+	r.stables[name] = s
+	return s
+}
+
+// Index returns the cached evaluation index of a dataset.
+func (r *Runner) Index(name string) *eval.Index {
+	if ix, ok := r.indexes[name]; ok {
+		return ix
+	}
+	ix := eval.NewIndex(r.Doc(name))
+	r.indexes[name] = ix
+	return ix
+}
+
+// WorkloadItem is one evaluation query with its ground truth.
+type WorkloadItem struct {
+	Q     *query.Query
+	Truth float64
+	// TruthESD is the consolidated ESD graph of the true nesting tree;
+	// populated only when the workload was built with ESD graphs.
+	TruthESD *esd.Node
+	Empty    bool
+}
+
+// Workload builds (and caches) n positive queries with exact
+// selectivities; withESD additionally materializes the true answers' ESD
+// graphs (needed for the Figure 11 experiments).
+func (r *Runner) Workload(name string, n int, withESD bool) []WorkloadItem {
+	key := workloadKey{name, n, withESD}
+	if w, ok := r.workloads[key]; ok {
+		return w
+	}
+	st := r.Stable(name)
+	ix := r.Index(name)
+	qs := query.Generate(st, n, query.GenOptions{Seed: r.cfg.Seed + 1})
+	out := make([]WorkloadItem, 0, len(qs))
+	for _, q := range qs {
+		ex := eval.Exact(ix, q)
+		item := WorkloadItem{Q: q, Truth: ex.Tuples, Empty: ex.Empty}
+		if withESD && !ex.Empty {
+			item.TruthESD = ex.ESDGraph()
+		}
+		out = append(out, item)
+	}
+	r.workloads[key] = out
+	return out
+}
+
+// SanityBound returns the 10-percentile of the workload's true counts
+// (Section 6.1's s).
+func SanityBound(w []WorkloadItem) float64 {
+	if len(w) == 0 {
+		return 1
+	}
+	truths := make([]float64, len(w))
+	for i := range w {
+		truths[i] = w[i].Truth
+	}
+	sort.Float64s(truths)
+	s := truths[len(truths)/10]
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (r *Runner) printf(format string, args ...any) {
+	if r.cfg.Out != nil {
+		fmt.Fprintf(r.cfg.Out, format, args...)
+	}
+}

@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps tests fast: small documents, few queries, two budgets.
+func tinyConfig(out *bytes.Buffer) Config {
+	var w io.Writer = io.Discard
+	if out != nil {
+		w = out
+	}
+	return Config{
+		TXScale:      3000,
+		LargeScale:   6000,
+		WorkloadSize: 12,
+		BudgetsKB:    []int{2, 8},
+		XSWorkload:   6,
+		Seed:         42,
+		Out:          w,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	rows := r.Table1()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (paper's Table 1)", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, row := range rows {
+		byName[row.Name] = row
+		if row.Elements <= 0 || row.FileKB <= 0 || row.StableKB <= 0 {
+			t.Errorf("%s: degenerate row %+v", row.Name, row)
+		}
+		if row.StableKB*1024 > float64(row.Elements)*12 {
+			t.Errorf("%s: stable summary larger than element count suggests", row.Name)
+		}
+	}
+	// The compressibility ordering the paper's Table 1 exhibits: DBLP's
+	// stable summary is a far smaller fraction of its document than
+	// XMark's.
+	dblp := byName["DBLP"].StableKB / float64(byName["DBLP"].Elements)
+	xmark := byName["XMark"].StableKB / float64(byName["XMark"].Elements)
+	if !(dblp < xmark) {
+		t.Errorf("DBLP ratio %.5f should be < XMark %.5f", dblp, xmark)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("no formatted output")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	rows := r.Table2()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	for _, row := range rows {
+		if row.Queries == 0 {
+			t.Errorf("%s: empty workload", row.Name)
+		}
+		if row.AvgTuples <= 0 {
+			t.Errorf("%s: avg tuples %g, want > 0 (positive workload)", row.Name, row.AvgTuples)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	rows := r.Table3()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if row.TreeSketch <= 0 || row.TwigXSketch <= 0 {
+			t.Errorf("%s: non-positive times %+v", row.Name, row)
+		}
+	}
+}
+
+func TestFigure11ShapeHolds(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	c := r.Figure11("XMark-TX")
+	if len(c.Points) != 2 {
+		t.Fatalf("points = %d", len(c.Points))
+	}
+	for _, p := range c.Points {
+		if math.IsNaN(p.TreeSketch) || math.IsNaN(p.XSketch) {
+			t.Fatalf("NaN point: %+v", p)
+		}
+		if p.TreeSketch < 0 || p.XSketch < 0 {
+			t.Fatalf("negative ESD: %+v", p)
+		}
+	}
+	// The paper's headline: TreeSketch answers are closer to the truth
+	// than twig-XSketch answers at the largest budget.
+	last := c.Points[len(c.Points)-1]
+	if !(last.TreeSketch <= last.XSketch) {
+		t.Errorf("TreeSketch ESD %.1f should be <= twig-XSketch %.1f at max budget", last.TreeSketch, last.XSketch)
+	}
+}
+
+func TestFigure12ErrorsDecreaseWithBudget(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	c := r.Figure12("XMark-TX")
+	first, last := c.Points[0], c.Points[len(c.Points)-1]
+	if last.TreeSketch > first.TreeSketch+5 {
+		t.Errorf("TreeSketch error grew with budget: %.1f%% -> %.1f%%", first.TreeSketch, last.TreeSketch)
+	}
+	for _, p := range c.Points {
+		if p.TreeSketch < 0 || p.TreeSketch > 200 {
+			t.Errorf("implausible error %+v", p)
+		}
+	}
+}
+
+func TestFigure13AllLargeDatasets(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.LargeScale = 4000
+	r := NewRunner(cfg)
+	curves := r.Figure13()
+	if len(curves) != 4 {
+		t.Fatalf("curves = %d, want 4", len(curves))
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if math.IsNaN(p.TreeSketch) || p.TreeSketch < 0 {
+				t.Errorf("%s: bad point %+v", c.Dataset, p)
+			}
+		}
+	}
+}
+
+func TestFigure11DeterministicAcrossRuns(t *testing.T) {
+	// The parallel workload evaluation must not perturb results: two
+	// runners with the same config agree exactly.
+	a := NewRunner(tinyConfig(nil)).Figure11("IMDB-TX")
+	b := NewRunner(tinyConfig(nil)).Figure11("IMDB-TX")
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := Run([]string{"table1"}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("table1 output missing")
+	}
+	if err := Run([]string{"bogus"}, cfg); err == nil {
+		t.Error("Run accepted unknown experiment")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness pass")
+	}
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.TXScale = 1500
+	cfg.LargeScale = 2000
+	cfg.WorkloadSize = 6
+	cfg.XSWorkload = 4
+	cfg.BudgetsKB = []int{2}
+	if err := Run([]string{"all"}, cfg, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3",
+		"Figure 11", "Figure 12", "Figure 13",
+		"Construction cost", "Ablation", "Negative workloads",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestWorkloadCaching(t *testing.T) {
+	r := NewRunner(tinyConfig(nil))
+	w1 := r.Workload("IMDB-TX", 5, false)
+	w2 := r.Workload("IMDB-TX", 5, false)
+	if len(w1) == 0 || &w1[0] != &w2[0] {
+		t.Error("workload not cached")
+	}
+}
+
+func TestSanityBound(t *testing.T) {
+	w := make([]WorkloadItem, 20)
+	for i := range w {
+		w[i].Truth = float64(i + 1)
+	}
+	if got := SanityBound(w); got != 3 {
+		t.Errorf("SanityBound = %g, want 3 (10th percentile)", got)
+	}
+	if got := SanityBound(nil); got != 1 {
+		t.Errorf("SanityBound(nil) = %g, want 1", got)
+	}
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+
+	"treesketch/internal/esd"
+)
+
+// maxWorkers returns the worker-pool width; overridable in tests so the
+// concurrent path is exercised on single-core machines too.
+var maxWorkers = runtime.NumCPU
+
+// forEachItem evaluates fn over workload items on a worker pool and returns
+// per-item results in order, so aggregation stays deterministic. Truth ESD
+// graphs are warmed (subtree sizes memoized) before fan-out: esd.Size
+// caches lazily on the shared nodes and must not race.
+func forEachItem(w []WorkloadItem, fn func(i int, item WorkloadItem) [2]float64) [][2]float64 {
+	for i := range w {
+		if w[i].TruthESD != nil {
+			esd.Size(w[i].TruthESD)
+		}
+	}
+	out := make([][2]float64, len(w))
+	workers := maxWorkers()
+	if workers > len(w) {
+		workers = len(w)
+	}
+	if workers <= 1 {
+		for i, item := range w {
+			out[i] = fn(i, item)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i, w[i])
+			}
+		}()
+	}
+	for i := range w {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExperimentNames lists the runnable experiment identifiers. The first six
+// regenerate the paper's tables and figures; "ablation" and "negative" are
+// additional studies of the construction design choices and of negative
+// workloads (both discussed but not plotted in the paper).
+func ExperimentNames() []string {
+	return []string{"table1", "table2", "table3", "fig11", "fig12", "fig13", "buildtimes", "ablation", "refinements", "negative", "all"}
+}
+
+// Run executes the named experiments ("table1", ..., "fig13", or "all"),
+// writing formatted output to cfg.Out. csvDir, when non-empty, receives
+// machine-readable CSV files per experiment.
+func Run(names []string, cfg Config, csvDir ...string) error {
+	r := NewRunner(cfg)
+	if len(csvDir) > 0 && csvDir[0] != "" {
+		if err := r.SetCSVDir(csvDir[0]); err != nil {
+			return err
+		}
+	}
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+	want := make(map[string]bool)
+	for _, n := range names {
+		want[strings.ToLower(strings.TrimSpace(n))] = true
+	}
+	all := want["all"]
+	ran := 0
+	if all || want["table1"] {
+		r.Table1()
+		ran++
+	}
+	if all || want["table2"] {
+		r.Table2()
+		ran++
+	}
+	if all || want["table3"] {
+		r.Table3()
+		ran++
+	}
+	if all || want["fig11"] {
+		for _, name := range []string{"XMark-TX", "IMDB-TX", "SProt-TX"} {
+			r.Figure11(name)
+		}
+		ran++
+	}
+	if all || want["fig12"] {
+		for _, name := range []string{"XMark-TX", "SProt-TX"} {
+			r.Figure12(name)
+		}
+		ran++
+	}
+	if all || want["fig13"] {
+		r.Figure13()
+		ran++
+	}
+	if all || want["buildtimes"] {
+		r.BuildTimes()
+		ran++
+	}
+	if all || want["ablation"] {
+		r.AblationPool("XMark-TX", 10)
+		ran++
+	}
+	if all || want["refinements"] {
+		r.RefinementAblation(10)
+		ran++
+	}
+	if all || want["negative"] {
+		r.NegativeWorkload(10)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("exp: no experiment matched %v (want %v)", names, ExperimentNames())
+	}
+	return nil
+}

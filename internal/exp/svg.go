@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// svgCurve renders a budget-sweep curve as a standalone SVG line chart next
+// to the CSV output (when a CSV directory is configured). The charts mirror
+// the paper's figures: budget (KB) on the x-axis, the metric on a linear
+// y-axis, one series per technique.
+func (r *Runner) svgCurve(name, title, yLabel string, c Curve, withXS bool) {
+	if r.csvDir == "" || len(c.Points) == 0 {
+		return
+	}
+	const (
+		w, h                     = 640, 400
+		left, right, top, bottom = 70, 20, 40, 50
+	)
+	plotW := float64(w - left - right)
+	plotH := float64(h - top - bottom)
+
+	xMin := float64(c.Points[0].BudgetKB)
+	xMax := xMin
+	yMax := 0.0
+	for _, p := range c.Points {
+		x := float64(p.BudgetKB)
+		if x < xMin {
+			xMin = x
+		}
+		if x > xMax {
+			xMax = x
+		}
+		for _, v := range []float64{p.TreeSketch, p.XSketch} {
+			if !math.IsNaN(v) && v > yMax {
+				yMax = v
+			}
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	yMax *= 1.08 // headroom
+
+	xPos := func(v float64) float64 { return float64(left) + (v-xMin)/(xMax-xMin)*plotW }
+	yPos := func(v float64) float64 { return float64(top) + plotH - v/yMax*plotH }
+
+	line := func(vals func(CurvePoint) float64) string {
+		var pts []string
+		for _, p := range c.Points {
+			v := vals(p)
+			if math.IsNaN(v) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPos(float64(p.BudgetKB)), yPos(v)))
+		}
+		return strings.Join(pts, " ")
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n", w/2, xmlEscape(title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", left, top, left, h-bottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", left, h-bottom, w-right, h-bottom)
+
+	// X ticks at each budget.
+	for _, p := range c.Points {
+		x := xPos(float64(p.BudgetKB))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n", x, h-bottom, x, h-bottom+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%d</text>`+"\n", x, h-bottom+18, p.BudgetKB)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">Synopsis Size (KB)</text>`+"\n", left+int(plotW)/2, h-12)
+
+	// Y ticks: 5 divisions.
+	for i := 0; i <= 5; i++ {
+		v := yMax * float64(i) / 5
+		y := yPos(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n", left-5, y, left, y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n", left, y, w-right, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n", left-8, y+4, fmtTick(v))
+	}
+	fmt.Fprintf(&b, `<text x="18" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n",
+		top+int(plotH)/2, top+int(plotH)/2, xmlEscape(yLabel))
+
+	// Series.
+	fmt.Fprintf(&b, `<polyline fill="none" stroke="#1f77b4" stroke-width="2" points="%s"/>`+"\n", line(func(p CurvePoint) float64 { return p.TreeSketch }))
+	for _, p := range c.Points {
+		if !math.IsNaN(p.TreeSketch) {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="#1f77b4"/>`+"\n", xPos(float64(p.BudgetKB)), yPos(p.TreeSketch))
+		}
+	}
+	if withXS {
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="#d62728" stroke-width="2" stroke-dasharray="6,3" points="%s"/>`+"\n", line(func(p CurvePoint) float64 { return p.XSketch }))
+		for _, p := range c.Points {
+			if !math.IsNaN(p.XSketch) {
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="6" height="6" fill="#d62728"/>`+"\n", xPos(float64(p.BudgetKB))-3, yPos(p.XSketch)-3)
+			}
+		}
+	}
+
+	// Legend.
+	lx, ly := w-right-190, top+8
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#1f77b4" stroke-width="2"/>`+"\n", lx, ly, lx+28, ly)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">TreeSketch</text>`+"\n", lx+34, ly+4)
+	if withXS {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#d62728" stroke-width="2" stroke-dasharray="6,3"/>`+"\n", lx, ly+18, lx+28, ly+18)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">Twig-XSketch</text>`+"\n", lx+34, ly+22)
+	}
+	b.WriteString("</svg>\n")
+
+	path := filepath.Join(r.csvDir, name+".svg")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		r.printf("svg: %v\n", err)
+	}
+}
+
+func fmtTick(v float64) string {
+	switch {
+	case v >= 1000000:
+		return fmt.Sprintf("%.1fM", v/1000000)
+	case v >= 1000:
+		return fmt.Sprintf("%.1fk", v/1000)
+	case v >= 10 || v == 0:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

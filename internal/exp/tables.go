@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"time"
+
+	"treesketch/internal/tsbuild"
+	"treesketch/internal/xsketch"
+)
+
+// Table1Row reproduces one row of the paper's Table 1: dataset
+// characteristics.
+type Table1Row struct {
+	Name      string
+	Elements  int
+	FileKB    float64
+	StableKB  float64
+	StableCls int
+}
+
+// Table1 regenerates Table 1 (dataset characteristics) on the synthesized
+// datasets.
+func (r *Runner) Table1() []Table1Row {
+	names := append(append([]string{}, TXNames()...), LargeNames()...)
+	rows := make([]Table1Row, 0, len(names))
+	for _, name := range names {
+		doc := r.Doc(name)
+		st := r.Stable(name)
+		rows = append(rows, Table1Row{
+			Name:      name,
+			Elements:  doc.Size(),
+			FileKB:    float64(doc.XMLSize()) / 1024,
+			StableKB:  float64(st.SizeBytes()) / 1024,
+			StableCls: st.NumNodes(),
+		})
+	}
+	r.csvTable1(rows)
+	r.printf("\nTable 1: Data set characteristics\n")
+	r.printf("%-10s %12s %12s %14s %10s\n", "Data Set", "Elements", "File (KB)", "Stable (KB)", "Classes")
+	for _, row := range rows {
+		r.printf("%-10s %12d %12.0f %14.1f %10d\n", row.Name, row.Elements, row.FileKB, row.StableKB, row.StableCls)
+	}
+	return rows
+}
+
+// Table2Row reproduces one row of Table 2: workload characteristics.
+type Table2Row struct {
+	Name      string
+	Queries   int
+	AvgTuples float64
+}
+
+// Table2 regenerates Table 2: the average number of binding tuples per
+// workload query on each dataset.
+func (r *Runner) Table2() []Table2Row {
+	names := append(append([]string{}, TXNames()...), LargeNames()...)
+	rows := make([]Table2Row, 0, len(names))
+	for _, name := range names {
+		w := r.Workload(name, r.cfg.WorkloadSize, false)
+		var sum float64
+		for _, item := range w {
+			sum += item.Truth
+		}
+		avg := 0.0
+		if len(w) > 0 {
+			avg = sum / float64(len(w))
+		}
+		rows = append(rows, Table2Row{Name: name, Queries: len(w), AvgTuples: avg})
+	}
+	r.csvTable2(rows)
+	r.printf("\nTable 2: Workload characteristics\n")
+	r.printf("%-10s %10s %22s\n", "Data Set", "Queries", "Avg Binding Tuples")
+	for _, row := range rows {
+		r.printf("%-10s %10d %22.0f\n", row.Name, row.Queries, row.AvgTuples)
+	}
+	return rows
+}
+
+// Table3Row reproduces one row of Table 3: construction times.
+type Table3Row struct {
+	Name string
+	// TreeSketch is the time to compress the stable summary down to the
+	// label-split graph (the paper's worst-case measurement).
+	TreeSketch time.Duration
+	// TwigXSketch is the time to refine the label-split graph up to a 10KB
+	// twig-XSketch with workload-driven evaluation.
+	TwigXSketch time.Duration
+}
+
+// Table3 regenerates Table 3: TreeSketch vs twig-XSketch construction time
+// on the -TX datasets.
+func (r *Runner) Table3() []Table3Row {
+	rows := make([]Table3Row, 0, 3)
+	for _, name := range TXNames() {
+		st := r.Stable(name)
+
+		_, tsStats := tsbuild.Build(st, tsbuild.Options{BudgetBytes: 1})
+
+		w := r.Workload(name, r.cfg.XSWorkload, false)
+		sample := make([]xsketch.SampleQuery, len(w))
+		for i, item := range w {
+			sample[i] = xsketch.SampleQuery{Q: item.Q, Truth: item.Truth}
+		}
+		_, xsStats := xsketch.Build(st, xsketch.BuildOptions{
+			BudgetBytes: 10 * 1024,
+			Workload:    sample,
+		})
+
+		rows = append(rows, Table3Row{Name: name, TreeSketch: tsStats.Elapsed, TwigXSketch: xsStats.Elapsed})
+	}
+	r.csvTable3(rows)
+	r.printf("\nTable 3: Construction times\n")
+	r.printf("%-10s %16s %16s\n", "Data Set", "TreeSketch", "Twig-XSketch")
+	for _, row := range rows {
+		r.printf("%-10s %16s %16s\n", row.Name, row.TreeSketch.Round(time.Millisecond), row.TwigXSketch.Round(time.Millisecond))
+	}
+	return rows
+}

@@ -1,0 +1,180 @@
+package query
+
+import (
+	"math/rand"
+
+	"treesketch/internal/stable"
+)
+
+// GenOptions configures the workload generator. Zero values select the
+// defaults; Seed 0 is a valid (deterministic) seed.
+type GenOptions struct {
+	Seed int64
+	// MaxFanout bounds the number of child edges per query variable
+	// (default 2).
+	MaxFanout int
+	// MaxQueryDepth bounds the query-tree depth below the root (default 2,
+	// i.e. up to grandchild variables).
+	MaxQueryDepth int
+	// MaxSteps bounds the location steps per path expression (default 2).
+	MaxSteps int
+	// DescendantProb is the probability a step uses the // axis
+	// (default 0.5).
+	DescendantProb float64
+	// PredProb is the probability a step carries a branching predicate
+	// (default 0.3).
+	PredProb float64
+	// OptionalProb is the probability a non-first edge is dashed
+	// (default 0.3).
+	OptionalProb float64
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.MaxFanout <= 0 {
+		o.MaxFanout = 2
+	}
+	if o.MaxQueryDepth <= 0 {
+		o.MaxQueryDepth = 2
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 2
+	}
+	if o.DescendantProb <= 0 {
+		o.DescendantProb = 0.5
+	}
+	if o.PredProb <= 0 {
+		o.PredProb = 0.3
+	}
+	if o.OptionalProb <= 0 {
+		o.OptionalProb = 0.3
+	}
+	return o
+}
+
+// Generate produces n positive twig queries against the document summarized
+// by the count-stable synopsis st, following the paper's workload
+// methodology (Section 6.1): queries are built by sampling sub-trees of the
+// stable synopsis and converting them to twigs. Because count stability
+// guarantees every element of a class has children along each synopsis
+// edge, each sampled query has a non-empty result by construction.
+func Generate(st *stable.Synopsis, n int, opts GenOptions) []*Query {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := &generator{st: st, rng: rng, opts: opts}
+	out := make([]*Query, 0, n)
+	attempts := 0
+	for len(out) < n && attempts < 50*n+100 {
+		attempts++
+		if q := g.query(); q != nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+type generator struct {
+	st   *stable.Synopsis
+	rng  *rand.Rand
+	opts GenOptions
+}
+
+// query builds one twig rooted at the document root class, or nil when the
+// sampled walk dead-ends immediately.
+func (g *generator) query() *Query {
+	root := &Node{}
+	if !g.addEdges(root, g.st.Root, 0, true) {
+		return nil
+	}
+	q := &Query{Root: root}
+	q.Renumber()
+	if q.Validate() != nil {
+		return nil
+	}
+	return q
+}
+
+// addEdges attaches 1..MaxFanout sampled edges to the query node qn, whose
+// bindings come from stable class from. Returns false if no edge could be
+// sampled and the node was required to have one.
+func (g *generator) addEdges(qn *Node, from int, depth int, required bool) bool {
+	// The root has a single path edge (like the paper's example twigs);
+	// branching happens below it.
+	fanout := 1
+	if depth > 0 {
+		fanout = 1 + g.rng.Intn(g.opts.MaxFanout)
+	}
+	added := 0
+	for i := 0; i < fanout; i++ {
+		path, end, ok := g.path(from)
+		if !ok {
+			continue
+		}
+		e := &Edge{Path: path, Child: &Node{}}
+		if added > 0 && g.rng.Float64() < g.opts.OptionalProb {
+			e.Optional = true
+		}
+		qn.Edges = append(qn.Edges, e)
+		added++
+		if depth < g.opts.MaxQueryDepth && g.rng.Float64() < 0.6 {
+			g.addEdges(e.Child, end, depth+1, false)
+		}
+	}
+	return !required || added > 0
+}
+
+// path samples a path expression starting at stable class from, returning
+// the path and the class its last step binds.
+func (g *generator) path(from int) (*Path, int, bool) {
+	steps := 1 + g.rng.Intn(g.opts.MaxSteps)
+	cur := from
+	var out []Step
+	for i := 0; i < steps; i++ {
+		edges := g.st.Nodes[cur].Edges
+		if len(edges) == 0 {
+			break
+		}
+		axis := Child
+		walk := 1
+		if g.rng.Float64() < g.opts.DescendantProb {
+			axis = Descendant
+			walk = 1 + g.rng.Intn(2)
+		}
+		target := cur
+		for w := 0; w < walk; w++ {
+			next := g.st.Nodes[target].Edges
+			if len(next) == 0 {
+				break
+			}
+			target = next[g.rng.Intn(len(next))].Child
+		}
+		if target == cur {
+			break
+		}
+		step := Step{Axis: axis, Label: g.st.Nodes[target].Label}
+		if g.rng.Float64() < g.opts.PredProb {
+			if pred, _, ok := g.predPath(target); ok {
+				step.Preds = append(step.Preds, pred)
+			}
+		}
+		out = append(out, step)
+		cur = target
+	}
+	if len(out) == 0 {
+		return nil, 0, false
+	}
+	return &Path{Steps: out}, cur, true
+}
+
+// predPath samples a short existential predicate anchored at class from.
+func (g *generator) predPath(from int) (*Path, int, bool) {
+	edges := g.st.Nodes[from].Edges
+	if len(edges) == 0 {
+		return nil, 0, false
+	}
+	axis := Child
+	if g.rng.Float64() < g.opts.DescendantProb {
+		axis = Descendant
+	}
+	target := edges[g.rng.Intn(len(edges))].Child
+	return &Path{Steps: []Step{{Axis: axis, Label: g.st.Nodes[target].Label}}}, target, true
+}

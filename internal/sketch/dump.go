@@ -1,0 +1,51 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dump renders the synopsis in a stable, human-readable form for debugging
+// and golden tests: one line per live node, sorted by ID, with edges and
+// average counts.
+//
+//	r#0 x1 -> a#1*3.0
+//	a#1 x3 -> b#2*1.5
+func (sk *Sketch) Dump() string {
+	var b strings.Builder
+	ids := make([]int, 0, len(sk.Nodes))
+	for id, u := range sk.Nodes {
+		if u != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		u := sk.Nodes[id]
+		fmt.Fprintf(&b, "%s#%d x%d", u.Label, u.ID, u.Count)
+		if id == sk.Root {
+			b.WriteString(" (root)")
+		}
+		if len(u.Edges) > 0 {
+			b.WriteString(" ->")
+			for _, e := range u.Edges {
+				fmt.Fprintf(&b, " %s#%d*%.3g", sk.Nodes[e.Child].Label, e.Child, e.Avg)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LabelCounts reports element totals per label, a quick dataset fingerprint
+// used by tools and tests.
+func (sk *Sketch) LabelCounts() map[string]int {
+	out := make(map[string]int)
+	for _, u := range sk.Nodes {
+		if u != nil {
+			out[u.Label] += u.Count
+		}
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package sketch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpStableForm(t *testing.T) {
+	_, _, sk := fromDoc("r(a(b),a(b))")
+	d := sk.Dump()
+	if !strings.Contains(d, "(root)") {
+		t.Fatalf("dump missing root marker:\n%s", d)
+	}
+	if !strings.Contains(d, "a#") || !strings.Contains(d, "*1") {
+		t.Fatalf("dump missing expected entries:\n%s", d)
+	}
+	if d != sk.Dump() {
+		t.Fatal("Dump not deterministic")
+	}
+	lines := strings.Count(d, "\n")
+	if lines != sk.NumNodes() {
+		t.Fatalf("dump has %d lines, want %d", lines, sk.NumNodes())
+	}
+}
+
+func TestLabelCounts(t *testing.T) {
+	tr, _, sk := fromDoc("r(a*3(b*2),c)")
+	counts := sk.LabelCounts()
+	if counts["a"] != 3 || counts["b"] != 6 || counts["c"] != 1 || counts["r"] != 1 {
+		t.Fatalf("LabelCounts = %v", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != tr.Size() {
+		t.Fatalf("total %d, want %d", total, tr.Size())
+	}
+}

@@ -1,0 +1,96 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	_, _, sk := fromDoc("bib(author*3(name,paper*2(title,year)),author(name))")
+	var buf bytes.Buffer
+	if err := sk.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != sk.NumNodes() || back.NumEdges() != sk.NumEdges() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			back.NumNodes(), back.NumEdges(), sk.NumNodes(), sk.NumEdges())
+	}
+	if math.Abs(back.SqErr()-sk.SqErr()) > 1e-12 {
+		t.Fatalf("SqErr changed: %g vs %g", back.SqErr(), sk.SqErr())
+	}
+	if back.Nodes[back.Root].Label != sk.Nodes[sk.Root].Label {
+		t.Fatal("root changed")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	var buf bytes.Buffer
+	buf.WriteString("\x00\x01\x02")
+	if _, err := Decode(&buf); err == nil {
+		t.Fatal("accepted binary garbage")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	tr := xmltree.MustCompact("r(a(b),a(b,b))")
+	sk := FromStable(stable.Build(tr))
+	path := filepath.Join(t.TempDir(), "syn.bin")
+	if err := sk.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalElements() != sk.TotalElements() {
+		t.Fatalf("elements %d, want %d", back.TotalElements(), sk.TotalElements())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("loaded missing file")
+	}
+}
+
+func TestEncodeCompactsTombstones(t *testing.T) {
+	_, _, sk := fromDoc("r(a,b)")
+	// Tombstone b by hand.
+	var bID int
+	for _, u := range sk.Nodes {
+		if u != nil && u.Label == "b" {
+			bID = u.ID
+		}
+	}
+	rn := sk.Nodes[sk.Root]
+	kept := rn.Edges[:0]
+	for _, e := range rn.Edges {
+		if e.Child != bID {
+			kept = append(kept, e)
+		}
+	}
+	rn.Edges = kept
+	sk.Nodes[bID] = nil
+
+	var buf bytes.Buffer
+	if err := sk.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nodes) != back.NumNodes() {
+		t.Fatal("decoded sketch has holes")
+	}
+}

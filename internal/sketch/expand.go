@@ -1,0 +1,68 @@
+package sketch
+
+import (
+	"fmt"
+
+	"treesketch/internal/xmltree"
+)
+
+// ExpandLimit bounds Expand's output size by default.
+const ExpandLimit = 1 << 22
+
+// Expand materializes an XML tree approximating the documents summarized by
+// the sketch. The interpretation of the model (Section 3.2) is that every
+// element of extent(u) has count(u,v) children in extent(v); fractional
+// averages are realized by deterministic stochastic rounding per edge, so
+// that across the whole expansion the number of children produced along an
+// edge tracks Count(u)*Avg as closely as integral trees allow.
+//
+// maxNodes caps the output size (<= 0 selects ExpandLimit); Expand fails if
+// the cap would be exceeded or the root cluster does not have count 1.
+func (sk *Sketch) Expand(maxNodes int) (*xmltree.Tree, error) {
+	if maxNodes <= 0 {
+		maxNodes = ExpandLimit
+	}
+	root := sk.Nodes[sk.Root]
+	if root == nil {
+		return nil, fmt.Errorf("sketch: expand: root %d is dead", sk.Root)
+	}
+	if root.Count != 1 {
+		return nil, fmt.Errorf("sketch: expand: root cluster has count %d, want 1", root.Count)
+	}
+	if err := sk.checkAcyclic(); err != nil {
+		return nil, err
+	}
+
+	t := xmltree.NewTree()
+	// Per (node, edge index) rounding accumulator: carries the fractional
+	// remainder across the expanded elements of the cluster.
+	carry := make(map[[2]int]float64)
+	var build func(id int) (*xmltree.Node, error)
+	build = func(id int) (*xmltree.Node, error) {
+		if t.Size() >= maxNodes {
+			return nil, fmt.Errorf("sketch: expand: output exceeds %d nodes", maxNodes)
+		}
+		u := sk.Nodes[id]
+		n := t.NewNode(u.Label)
+		for j, e := range u.Edges {
+			key := [2]int{id, j}
+			want := e.Avg + carry[key]
+			k := int(want)
+			carry[key] = want - float64(k)
+			for i := 0; i < k; i++ {
+				c, err := build(e.Child)
+				if err != nil {
+					return nil, err
+				}
+				n.Children = append(n.Children, c)
+			}
+		}
+		return n, nil
+	}
+	rootNode, err := build(sk.Root)
+	if err != nil {
+		return nil, err
+	}
+	t.Root = rootNode
+	return t, nil
+}

@@ -1,0 +1,306 @@
+package stable
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"treesketch/internal/xmltree"
+)
+
+// Maintainer keeps a count-stable summary synchronized with its document
+// under subtree insertions and deletions, without rebuilding from scratch:
+// an update reclassifies only the affected subtree plus the ancestor path
+// to the root (whose child signatures change). This extends the paper's
+// static setting toward live collections; compressed TreeSketches are
+// rebuilt from the maintained summary on demand (TSBuild is fast relative
+// to re-summarizing the document).
+type Maintainer struct {
+	doc *xmltree.Tree
+
+	classByKey map[string]int
+	classOf    map[int]int // element OID -> class ID
+	parentOf   map[int]*xmltree.Node
+	member     map[*xmltree.Node]bool // identity set of document elements
+	nodes      []*Node                // may contain nils (emptied classes)
+	free       []int                  // recycled class IDs
+	rootClass  int
+}
+
+// NewMaintainer builds the count-stable summary of doc and the auxiliary
+// state for incremental updates. The document must not be mutated except
+// through the Maintainer.
+func NewMaintainer(doc *xmltree.Tree) *Maintainer {
+	m := &Maintainer{
+		doc:        doc,
+		classByKey: make(map[string]int),
+		classOf:    make(map[int]int),
+		parentOf:   make(map[int]*xmltree.Node),
+		member:     make(map[*xmltree.Node]bool),
+	}
+	if doc.Root == nil {
+		m.rootClass = -1
+		return m
+	}
+	doc.PostOrder(func(e *xmltree.Node) {
+		m.classify(e)
+		m.member[e] = true
+	})
+	doc.PreOrder(func(e *xmltree.Node) {
+		for _, c := range e.Children {
+			m.parentOf[c.OID] = e
+		}
+	})
+	m.rootClass = m.classOf[doc.Root.OID]
+	return m
+}
+
+// Doc returns the maintained document.
+func (m *Maintainer) Doc() *xmltree.Tree { return m.doc }
+
+// NumClasses reports the number of live equivalence classes.
+func (m *Maintainer) NumClasses() int {
+	n := 0
+	for _, u := range m.nodes {
+		if u != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// key renders the count-stable signature of an element from its label and
+// its children's current classes.
+func (m *Maintainer) key(e *xmltree.Node) string {
+	sig := make(map[int]int)
+	for _, c := range e.Children {
+		sig[m.classOf[c.OID]]++
+	}
+	ids := make([]int, 0, len(sig))
+	for id := range sig {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	b.WriteString(e.Label)
+	for _, id := range ids {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(id))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(sig[id]))
+	}
+	return b.String()
+}
+
+// classify assigns e to its (possibly new) class, incrementing its count;
+// children must already be classified.
+func (m *Maintainer) classify(e *xmltree.Node) int {
+	k := m.key(e)
+	id, ok := m.classByKey[k]
+	if !ok {
+		id = m.newClass(e, k)
+	}
+	m.nodes[id].Count++
+	m.classOf[e.OID] = id
+	return id
+}
+
+func (m *Maintainer) newClass(e *xmltree.Node, k string) int {
+	sig := make(map[int]int)
+	for _, c := range e.Children {
+		sig[m.classOf[c.OID]]++
+	}
+	edges := make([]Edge, 0, len(sig))
+	depth := 0
+	for id, count := range sig {
+		edges = append(edges, Edge{Child: id, K: count})
+		if d := m.nodes[id].depth + 1; d > depth {
+			depth = d
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Child < edges[j].Child })
+
+	var id int
+	if n := len(m.free); n > 0 {
+		id = m.free[n-1]
+		m.free = m.free[:n-1]
+		m.nodes[id] = &Node{ID: id, Label: m.doc.Intern(e.Label), Edges: edges, depth: depth}
+	} else {
+		id = len(m.nodes)
+		m.nodes = append(m.nodes, &Node{ID: id, Label: m.doc.Intern(e.Label), Edges: edges, depth: depth})
+	}
+	m.classByKey[k] = id
+	return id
+}
+
+// unclassify removes e from its class, deleting the class when emptied.
+func (m *Maintainer) unclassify(e *xmltree.Node) {
+	id, ok := m.classOf[e.OID]
+	if !ok {
+		return
+	}
+	delete(m.classOf, e.OID)
+	u := m.nodes[id]
+	u.Count--
+	if u.Count == 0 {
+		// Reconstruct the key to drop the index entry.
+		var b strings.Builder
+		b.WriteString(u.Label)
+		for _, ed := range u.Edges {
+			b.WriteByte('|')
+			b.WriteString(strconv.Itoa(ed.Child))
+			b.WriteByte(':')
+			b.WriteString(strconv.Itoa(ed.K))
+		}
+		delete(m.classByKey, b.String())
+		m.nodes[id] = nil
+		m.free = append(m.free, id)
+	}
+}
+
+// InsertSubtree clones proto (an independent tree) as a new child of
+// parent and updates the summary: the new elements are classified
+// bottom-up, then parent and its ancestors are reclassified. Returns the
+// adopted root element.
+func (m *Maintainer) InsertSubtree(parent *xmltree.Node, proto *xmltree.Tree) (*xmltree.Node, error) {
+	if parent == nil || proto == nil || proto.Root == nil {
+		return nil, fmt.Errorf("stable: InsertSubtree: nil parent or empty subtree")
+	}
+	if !m.member[parent] {
+		return nil, fmt.Errorf("stable: InsertSubtree: parent %d not part of the maintained document", parent.OID)
+	}
+	var adopt func(p *xmltree.Node) *xmltree.Node
+	adopt = func(p *xmltree.Node) *xmltree.Node {
+		n := m.doc.NewNode(p.Label)
+		for _, c := range p.Children {
+			cc := adopt(c)
+			n.Children = append(n.Children, cc)
+			m.parentOf[cc.OID] = n
+		}
+		m.classify(n)
+		m.member[n] = true
+		return n
+	}
+	root := adopt(proto.Root)
+	parent.Children = append(parent.Children, root)
+	m.parentOf[root.OID] = parent
+	m.reclassifyAncestors(parent)
+	return root, nil
+}
+
+// DeleteSubtree detaches the subtree rooted at n from the document and
+// updates the summary. The document root cannot be deleted.
+func (m *Maintainer) DeleteSubtree(n *xmltree.Node) error {
+	if n == nil {
+		return fmt.Errorf("stable: DeleteSubtree: nil element")
+	}
+	if !m.member[n] {
+		return fmt.Errorf("stable: DeleteSubtree: element %d not part of the maintained document", n.OID)
+	}
+	parent := m.parentOf[n.OID]
+	if parent == nil {
+		return fmt.Errorf("stable: DeleteSubtree: cannot delete the document root")
+	}
+	idx := -1
+	for i, c := range parent.Children {
+		if c == n {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("stable: DeleteSubtree: element %d not under its recorded parent", n.OID)
+	}
+	parent.Children = append(parent.Children[:idx], parent.Children[idx+1:]...)
+
+	removed := 0
+	var drop func(e *xmltree.Node)
+	drop = func(e *xmltree.Node) {
+		for _, c := range e.Children {
+			drop(c)
+		}
+		m.unclassify(e)
+		delete(m.parentOf, e.OID)
+		delete(m.member, e)
+		removed++
+	}
+	drop(n)
+	m.doc.SetSize(m.doc.Size() - removed)
+	m.reclassifyAncestors(parent)
+	return nil
+}
+
+// reclassifyAncestors walks from e to the root, moving each element to the
+// class matching its updated child signature. The walk can stop early once
+// an element's class is unchanged (then no ancestor signature changes
+// either).
+func (m *Maintainer) reclassifyAncestors(e *xmltree.Node) {
+	for cur := e; cur != nil; cur = m.parentOf[cur.OID] {
+		old := m.classOf[cur.OID]
+		m.unclassify(cur)
+		if id := m.classify(cur); id == old {
+			return
+		}
+	}
+	m.rootClass = m.classOf[m.doc.Root.OID]
+}
+
+// Synopsis materializes the current summary as a standalone, densely
+// numbered count-stable Synopsis (with ClassOf populated).
+func (m *Maintainer) Synopsis() *Synopsis {
+	s := &Synopsis{Root: -1}
+	if m.doc.Root == nil {
+		return s
+	}
+	remap := make(map[int]int)
+	for _, u := range m.nodes {
+		if u == nil || u.Count == 0 {
+			continue
+		}
+		remap[u.ID] = len(s.Nodes)
+		s.Nodes = append(s.Nodes, nil)
+	}
+	for _, u := range m.nodes {
+		if u == nil || u.Count == 0 {
+			continue
+		}
+		v := &Node{
+			ID:    remap[u.ID],
+			Label: u.Label,
+			Count: u.Count,
+			depth: u.depth,
+			Edges: make([]Edge, len(u.Edges)),
+		}
+		for i, ed := range u.Edges {
+			v.Edges[i] = Edge{Child: remap[ed.Child], K: ed.K}
+		}
+		sort.Slice(v.Edges, func(a, b int) bool { return v.Edges[a].Child < v.Edges[b].Child })
+		s.Nodes[v.ID] = v
+	}
+	// ClassOf sized to the document's OID space; OIDs of deleted elements
+	// keep -1.
+	s.ClassOf = make([]int, m.doc.Size())
+	for i := range s.ClassOf {
+		s.ClassOf[i] = -1
+	}
+	maxOID := 0
+	for oid := range m.classOf {
+		if oid > maxOID {
+			maxOID = oid
+		}
+	}
+	if maxOID >= len(s.ClassOf) {
+		grown := make([]int, maxOID+1)
+		for i := range grown {
+			grown[i] = -1
+		}
+		copy(grown, s.ClassOf)
+		s.ClassOf = grown
+	}
+	for oid, id := range m.classOf {
+		s.ClassOf[oid] = remap[id]
+	}
+	s.Root = remap[m.classOf[m.doc.Root.OID]]
+	return s
+}

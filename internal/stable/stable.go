@@ -1,0 +1,297 @@
+// Package stable implements the count-stable summary of an XML document
+// (Section 3.2 and Figure 4 of the paper).
+//
+// A count-stable summary is a graph synopsis in which every pair of node
+// partitions (u, v) is k-stable: each element in extent(u) has exactly k
+// child elements in extent(v). By Lemma 3.1 the minimal count-stable
+// equivalence relation is unique and the original document can be
+// reconstructed from it without error (Expand). The count-stable summary is
+// the lossless starting point that TSBuild compresses down to a space
+// budget.
+package stable
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"treesketch/internal/xmltree"
+)
+
+// Size model: the footprint charged per synopsis node and edge when
+// measuring summaries against a space budget. A node stores a label
+// reference and an element count; an edge stores a target reference and a
+// child count.
+const (
+	NodeBytes = 12
+	EdgeBytes = 8
+)
+
+// Edge is a k-stable synopsis edge: every element of the source partition
+// has exactly K children in the Child partition.
+type Edge struct {
+	Child int // target node ID
+	K     int // exact per-element child count; always >= 1
+}
+
+// Node is one equivalence class (element partition) of the count-stable
+// relation.
+type Node struct {
+	ID    int
+	Label string
+	Count int    // |extent|: number of document elements in the class
+	Edges []Edge // outgoing edges, sorted by Child
+
+	depth int // longest downward path to a leaf class
+}
+
+// Depth returns the node's depth: 0 for a class of leaf elements, otherwise
+// 1 + the maximum depth among child classes. Because classes group elements
+// with identical sub-tree structure, this equals the depth (in the paper's
+// Section 4.2 sense) of every element in the extent.
+func (n *Node) Depth() int { return n.depth }
+
+// Synopsis is a count-stable summary. Nodes are indexed by ID; the graph is
+// a DAG with a single root class of count 1.
+type Synopsis struct {
+	Nodes []*Node
+	Root  int
+
+	// ClassOf maps a document element OID to the ID of its equivalence
+	// class. It is populated by Build and used by tests and by baseline
+	// construction; it is nil for synopses produced other than by Build.
+	ClassOf []int
+}
+
+// Build constructs the unique minimal count-stable summary of t using the
+// BuildStable algorithm (Figure 4): a post-order traversal assigns each
+// element to a class identified by its label plus the multiset of
+// (child class, count) pairs; classes are deduplicated through a hash table.
+// Runs in O(|T|) time (amortized).
+func Build(t *xmltree.Tree) *Synopsis {
+	if t.Root == nil {
+		return &Synopsis{Root: -1}
+	}
+	s := &Synopsis{ClassOf: make([]int, t.OIDSpace())}
+	classByKey := make(map[string]int)
+	var keyBuf strings.Builder
+
+	t.PostOrder(func(e *xmltree.Node) {
+		// Gather (child class, count) signature; children already classified
+		// by virtue of post-order.
+		sig := make(map[int]int)
+		for _, c := range e.Children {
+			sig[s.ClassOf[c.OID]]++
+		}
+		pairs := make([]Edge, 0, len(sig))
+		for id, k := range sig {
+			pairs = append(pairs, Edge{Child: id, K: k})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].Child < pairs[j].Child })
+
+		keyBuf.Reset()
+		keyBuf.WriteString(e.Label)
+		for _, p := range pairs {
+			keyBuf.WriteByte('|')
+			keyBuf.WriteString(strconv.Itoa(p.Child))
+			keyBuf.WriteByte(':')
+			keyBuf.WriteString(strconv.Itoa(p.K))
+		}
+		key := keyBuf.String()
+
+		id, ok := classByKey[key]
+		if !ok {
+			id = len(s.Nodes)
+			depth := 0
+			for _, p := range pairs {
+				if d := s.Nodes[p.Child].depth + 1; d > depth {
+					depth = d
+				}
+			}
+			s.Nodes = append(s.Nodes, &Node{ID: id, Label: t.Intern(e.Label), Edges: pairs, depth: depth})
+			classByKey[key] = id
+		}
+		s.Nodes[id].Count++
+		s.ClassOf[e.OID] = id
+	})
+	s.Root = s.ClassOf[t.Root.OID]
+	return s
+}
+
+// NumNodes reports the number of classes in the synopsis.
+func (s *Synopsis) NumNodes() int { return len(s.Nodes) }
+
+// NumEdges reports the total number of synopsis edges.
+func (s *Synopsis) NumEdges() int {
+	n := 0
+	for _, u := range s.Nodes {
+		n += len(u.Edges)
+	}
+	return n
+}
+
+// SizeBytes reports the storage footprint of the synopsis under the package
+// size model.
+func (s *Synopsis) SizeBytes() int {
+	return s.NumNodes()*NodeBytes + s.NumEdges()*EdgeBytes
+}
+
+// Height returns the maximum node depth (the depth of the root class), or
+// -1 for an empty synopsis.
+func (s *Synopsis) Height() int {
+	if s.Root < 0 {
+		return -1
+	}
+	return s.Nodes[s.Root].depth
+}
+
+// TotalElements reports the number of document elements summarized, i.e. the
+// sum of class counts.
+func (s *Synopsis) TotalElements() int {
+	n := 0
+	for _, u := range s.Nodes {
+		n += u.Count
+	}
+	return n
+}
+
+// Parents returns, for every node ID, the IDs of nodes with an edge into it.
+func (s *Synopsis) Parents() [][]int {
+	parents := make([][]int, len(s.Nodes))
+	for _, u := range s.Nodes {
+		for _, e := range u.Edges {
+			parents[e.Child] = append(parents[e.Child], u.ID)
+		}
+	}
+	return parents
+}
+
+// Expand reconstructs an XML document tree from the synopsis (the Expand
+// function of Lemma 3.1). The result is isomorphic to the original document
+// up to sibling order: each element of class u receives exactly e.K children
+// of class e.Child for every outgoing edge. Expand fails if the root class
+// count is not 1 or if the synopsis contains a cycle.
+func (s *Synopsis) Expand() (*xmltree.Tree, error) {
+	if s.Root < 0 {
+		return xmltree.NewTree(), nil
+	}
+	root := s.Nodes[s.Root]
+	if root.Count != 1 {
+		return nil, fmt.Errorf("stable: root class has count %d, want 1", root.Count)
+	}
+	if err := s.checkAcyclic(); err != nil {
+		return nil, err
+	}
+	t := xmltree.NewTree()
+	var build func(id int) *xmltree.Node
+	build = func(id int) *xmltree.Node {
+		u := s.Nodes[id]
+		n := t.NewNode(u.Label)
+		for _, e := range u.Edges {
+			for i := 0; i < e.K; i++ {
+				n.Children = append(n.Children, build(e.Child))
+			}
+		}
+		return n
+	}
+	t.Root = build(s.Root)
+	return t, nil
+}
+
+func (s *Synopsis) checkAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make([]int8, len(s.Nodes))
+	var visit func(id int) error
+	visit = func(id int) error {
+		switch state[id] {
+		case gray:
+			return fmt.Errorf("stable: synopsis contains a cycle through node %d (%s)", id, s.Nodes[id].Label)
+		case black:
+			return nil
+		}
+		state[id] = gray
+		for _, e := range s.Nodes[id].Edges {
+			if err := visit(e.Child); err != nil {
+				return err
+			}
+		}
+		state[id] = black
+		return nil
+	}
+	for id := range s.Nodes {
+		if err := visit(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify checks that the synopsis is a valid count-stable summary of t:
+// every element is assigned a class with a matching label, and for every
+// class pair (u, v) each element of u has exactly k(u,v) children in v.
+// It requires ClassOf to be populated (i.e. a synopsis from Build).
+func (s *Synopsis) Verify(t *xmltree.Tree) error {
+	if s.ClassOf == nil {
+		return fmt.Errorf("stable: Verify requires ClassOf")
+	}
+	if len(s.ClassOf) < t.OIDSpace() {
+		return fmt.Errorf("stable: ClassOf covers %d OIDs, document needs %d", len(s.ClassOf), t.OIDSpace())
+	}
+	counts := make([]int, len(s.Nodes))
+	var err error
+	t.PreOrder(func(e *xmltree.Node) {
+		if err != nil {
+			return
+		}
+		id := s.ClassOf[e.OID]
+		if id < 0 || id >= len(s.Nodes) {
+			err = fmt.Errorf("stable: element %d has out-of-range class %d", e.OID, id)
+			return
+		}
+		u := s.Nodes[id]
+		counts[id]++
+		if u.Label != e.Label {
+			err = fmt.Errorf("stable: element %d label %q in class labeled %q", e.OID, e.Label, u.Label)
+			return
+		}
+		got := make(map[int]int)
+		for _, c := range e.Children {
+			got[s.ClassOf[c.OID]]++
+		}
+		if len(got) != len(u.Edges) {
+			err = fmt.Errorf("stable: element %d has children in %d classes, class %d has %d edges", e.OID, len(got), id, len(u.Edges))
+			return
+		}
+		for _, edge := range u.Edges {
+			if got[edge.Child] != edge.K {
+				err = fmt.Errorf("stable: element %d has %d children in class %d, edge says %d", e.OID, got[edge.Child], edge.Child, edge.K)
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for id, u := range s.Nodes {
+		if counts[id] != u.Count {
+			return fmt.Errorf("stable: class %d count %d, but %d elements assigned", id, u.Count, counts[id])
+		}
+	}
+	return nil
+}
+
+// EdgeK returns the stable child count from node u to node v, or 0 when no
+// edge exists (the k=0 case of Definition 3.1).
+func (s *Synopsis) EdgeK(u, v int) int {
+	edges := s.Nodes[u].Edges
+	i := sort.Search(len(edges), func(i int) bool { return edges[i].Child >= v })
+	if i < len(edges) && edges[i].Child == v {
+		return edges[i].K
+	}
+	return 0
+}

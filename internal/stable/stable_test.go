@@ -1,0 +1,345 @@
+package stable
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"treesketch/internal/xmltree"
+)
+
+// canon renders a tree in a canonical compact form that is invariant under
+// sibling reordering, so isomorphism (Lemma 3.1) can be checked by string
+// equality.
+func canon(n *xmltree.Node) string {
+	if len(n.Children) == 0 {
+		return n.Label
+	}
+	parts := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		parts[i] = canon(c)
+	}
+	sort.Strings(parts)
+	return n.Label + "(" + strings.Join(parts, ",") + ")"
+}
+
+func TestBuildSingleNode(t *testing.T) {
+	s := Build(xmltree.MustCompact("r"))
+	if s.NumNodes() != 1 || s.Nodes[0].Count != 1 || s.Nodes[0].Label != "r" {
+		t.Fatalf("unexpected synopsis: %+v", s.Nodes)
+	}
+	if s.Height() != 0 {
+		t.Fatalf("Height = %d, want 0", s.Height())
+	}
+}
+
+func TestBuildEmptyTree(t *testing.T) {
+	s := Build(xmltree.NewTree())
+	if s.NumNodes() != 0 || s.Root != -1 {
+		t.Fatalf("empty tree synopsis: %+v", s)
+	}
+	tr, err := s.Expand()
+	if err != nil || tr.Size() != 0 {
+		t.Fatalf("Expand(empty) = %v, %v", tr.Size(), err)
+	}
+}
+
+func TestBuildGroupsIdenticalSubtrees(t *testing.T) {
+	// Four identical b(c) subtrees under two a parents: classes are
+	// {r}, {a,a}, {b,b,b,b}, {c,c,c,c}.
+	tr := xmltree.MustCompact("r(a(b(c),b(c)),a(b(c),b(c)))")
+	s := Build(tr)
+	if s.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", s.NumNodes())
+	}
+	byLabel := map[string]*Node{}
+	for _, n := range s.Nodes {
+		byLabel[n.Label] = n
+	}
+	if byLabel["a"].Count != 2 || byLabel["b"].Count != 4 || byLabel["c"].Count != 4 {
+		t.Fatalf("counts: a=%d b=%d c=%d", byLabel["a"].Count, byLabel["b"].Count, byLabel["c"].Count)
+	}
+	if k := s.EdgeK(byLabel["a"].ID, byLabel["b"].ID); k != 2 {
+		t.Fatalf("k(a,b) = %d, want 2", k)
+	}
+	if err := s.Verify(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSeparatesDifferentChildCounts(t *testing.T) {
+	// Paper Figure 3(a): document T1 = r(a(b*1(c), b*4(c)), a(b*1(c), b*4(c))).
+	// The two b variants (1 c child vs 4 c children) must land in distinct
+	// classes; both a elements have one b of each kind so they share a class.
+	tr := xmltree.MustCompact("r(a(b(c),b(c,c,c,c)),a(b(c),b(c,c,c,c)))")
+	s := Build(tr)
+	labels := map[string]int{}
+	for _, n := range s.Nodes {
+		labels[n.Label]++
+	}
+	if labels["b"] != 2 {
+		t.Fatalf("b classes = %d, want 2", labels["b"])
+	}
+	if labels["a"] != 1 {
+		t.Fatalf("a classes = %d, want 1", labels["a"])
+	}
+	if err := s.Verify(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSeparatesByDescendantStructure(t *testing.T) {
+	// Paper Figure 3(b): document T2 where one a has two b's with 1 c each
+	// and the other a has two b's with 4 c's each. The two a elements have
+	// different sub-trees and must be in different classes (Figure 3(f)).
+	tr := xmltree.MustCompact("r(a(b(c),b(c)),a(b(c,c,c,c),b(c,c,c,c)))")
+	s := Build(tr)
+	labels := map[string]int{}
+	for _, n := range s.Nodes {
+		labels[n.Label]++
+	}
+	if labels["a"] != 2 {
+		t.Fatalf("a classes = %d, want 2", labels["a"])
+	}
+	if labels["b"] != 2 {
+		t.Fatalf("b classes = %d, want 2", labels["b"])
+	}
+}
+
+func TestExpandRoundTrip(t *testing.T) {
+	docs := []string{
+		"r",
+		"r(a)",
+		"r(a(b,c),a(b,c))",
+		"r(a(b(c),b(c,c,c,c)),a(b(c),b(c,c,c,c)))",
+		"bib(author*3(name,paper*2(title,year,keyword*2),book(title)))",
+		"r(x(y(z(w))),x(y(z(w))),x(y(z)))",
+	}
+	for _, src := range docs {
+		tr := xmltree.MustCompact(src)
+		s := Build(tr)
+		back, err := s.Expand()
+		if err != nil {
+			t.Fatalf("%s: Expand: %v", src, err)
+		}
+		if canon(back.Root) != canon(tr.Root) {
+			t.Errorf("%s: Expand not isomorphic:\n got %s\nwant %s", src, canon(back.Root), canon(tr.Root))
+		}
+		if back.Size() != tr.Size() {
+			t.Errorf("%s: Expand size %d, want %d", src, back.Size(), tr.Size())
+		}
+	}
+}
+
+func TestExpandRejectsMultiRootCount(t *testing.T) {
+	tr := xmltree.MustCompact("r(a,a)")
+	s := Build(tr)
+	s.Root = s.ClassOf[tr.Root.Children[0].OID] // point root at the a class (count 2)
+	if _, err := s.Expand(); err == nil {
+		t.Fatal("Expand accepted root class with count != 1")
+	}
+}
+
+func TestExpandRejectsCycle(t *testing.T) {
+	s := &Synopsis{Root: 0}
+	s.Nodes = []*Node{
+		{ID: 0, Label: "a", Count: 1, Edges: []Edge{{Child: 1, K: 1}}},
+		{ID: 1, Label: "b", Count: 1, Edges: []Edge{{Child: 0, K: 1}}},
+	}
+	if _, err := s.Expand(); err == nil {
+		t.Fatal("Expand accepted cyclic synopsis")
+	}
+}
+
+func TestDepths(t *testing.T) {
+	tr := xmltree.MustCompact("r(a(b(c)),d)")
+	s := Build(tr)
+	for _, n := range s.Nodes {
+		var want int
+		switch n.Label {
+		case "c", "d":
+			want = 0
+		case "b":
+			want = 1
+		case "a":
+			want = 2
+		case "r":
+			want = 3
+		}
+		if n.Depth() != want {
+			t.Errorf("depth(%s) = %d, want %d", n.Label, n.Depth(), want)
+		}
+	}
+	if s.Height() != 3 {
+		t.Errorf("Height = %d, want 3", s.Height())
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	tr := xmltree.MustCompact("r(a(b),a(b))")
+	s := Build(tr) // classes: r, a, b -> 3 nodes, edges r->a, a->b -> 2 edges
+	if s.NumNodes() != 3 || s.NumEdges() != 2 {
+		t.Fatalf("nodes=%d edges=%d", s.NumNodes(), s.NumEdges())
+	}
+	want := 3*NodeBytes + 2*EdgeBytes
+	if s.SizeBytes() != want {
+		t.Fatalf("SizeBytes = %d, want %d", s.SizeBytes(), want)
+	}
+}
+
+func TestTotalElements(t *testing.T) {
+	tr := xmltree.MustCompact("r(a*5(b*2),c*3)")
+	s := Build(tr)
+	if got := s.TotalElements(); got != tr.Size() {
+		t.Fatalf("TotalElements = %d, want %d", got, tr.Size())
+	}
+}
+
+func TestParents(t *testing.T) {
+	tr := xmltree.MustCompact("r(a(c),b(c))")
+	s := Build(tr)
+	parents := s.Parents()
+	var cID int
+	for _, n := range s.Nodes {
+		if n.Label == "c" {
+			cID = n.ID
+		}
+	}
+	if len(parents[cID]) != 2 {
+		t.Fatalf("c has %d parents, want 2", len(parents[cID]))
+	}
+	if len(parents[s.Root]) != 0 {
+		t.Fatalf("root has %d parents, want 0", len(parents[s.Root]))
+	}
+}
+
+func TestEdgeKMissingEdge(t *testing.T) {
+	tr := xmltree.MustCompact("r(a,b)")
+	s := Build(tr)
+	var aID, bID int
+	for _, n := range s.Nodes {
+		switch n.Label {
+		case "a":
+			aID = n.ID
+		case "b":
+			bID = n.ID
+		}
+	}
+	if k := s.EdgeK(aID, bID); k != 0 {
+		t.Fatalf("k(a,b) = %d, want 0", k)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	tr := xmltree.MustCompact("r(a(b),a(b))")
+	s := Build(tr)
+	s.Nodes[s.ClassOf[tr.Root.Children[0].OID]].Count++
+	if err := s.Verify(tr); err == nil {
+		t.Fatal("Verify accepted corrupted count")
+	}
+}
+
+func TestVerifyRequiresClassOf(t *testing.T) {
+	tr := xmltree.MustCompact("r")
+	s := Build(tr)
+	s.ClassOf = nil
+	if err := s.Verify(tr); err == nil {
+		t.Fatal("Verify accepted nil ClassOf")
+	}
+}
+
+// randomTree builds a deterministic pseudo-random tree from a seed, with
+// repeated structures to exercise class sharing.
+func randomTree(seed uint64) *xmltree.Tree {
+	tr := xmltree.NewTree()
+	rng := seed
+	next := func(n uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % n
+	}
+	labels := []string{"a", "b", "c"}
+	var build func(depth int) *xmltree.Node
+	build = func(depth int) *xmltree.Node {
+		n := tr.NewNode(labels[next(3)])
+		if depth < 4 {
+			kids := int(next(4))
+			for i := 0; i < kids; i++ {
+				n.Children = append(n.Children, build(depth+1))
+			}
+		}
+		return n
+	}
+	root := tr.NewNode("r")
+	for i := 0; i < int(next(5))+1; i++ {
+		root.Children = append(root.Children, build(1))
+	}
+	tr.Root = root
+	return tr
+}
+
+func TestPropBuildVerifyExpandRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := randomTree(seed)
+		s := Build(tr)
+		if err := s.Verify(tr); err != nil {
+			t.Logf("Verify: %v", err)
+			return false
+		}
+		back, err := s.Expand()
+		if err != nil {
+			t.Logf("Expand: %v", err)
+			return false
+		}
+		return canon(back.Root) == canon(tr.Root)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSynopsisNeverLargerThanDocument(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := randomTree(seed)
+		s := Build(tr)
+		return s.NumNodes() <= tr.Size() && s.TotalElements() == tr.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMinimality(t *testing.T) {
+	// Two elements land in the same class iff their canonical subtrees are
+	// identical — this is exactly the minimal count-stable relation.
+	f := func(seed uint64) bool {
+		tr := randomTree(seed)
+		s := Build(tr)
+		canonOf := make(map[int]string)
+		tr.PreOrder(func(n *xmltree.Node) { canonOf[n.OID] = canon(n) })
+		classCanon := make(map[int]string)
+		ok := true
+		tr.PreOrder(func(n *xmltree.Node) {
+			id := s.ClassOf[n.OID]
+			if prev, seen := classCanon[id]; seen {
+				if prev != canonOf[n.OID] {
+					ok = false
+				}
+			} else {
+				classCanon[id] = canonOf[n.OID]
+			}
+		})
+		// Minimality: distinct classes must have distinct canonical forms.
+		seen := make(map[string]bool)
+		for _, c := range classCanon {
+			if seen[c] {
+				ok = false
+			}
+			seen[c] = true
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,723 @@
+// Package tsbuild implements the TreeSketch construction algorithm
+// (TSBuild and CreatePool, Figures 5 and 6 of the paper).
+//
+// Starting from the count-stable summary — the zero-error TreeSketch —
+// TSBuild performs agglomerative bottom-up clustering: it repeatedly merges
+// the pair of same-label synopsis nodes with the best marginal-gain ratio
+// errd/sized (least increase in squared error per byte of space saved)
+// until the synopsis fits the space budget. Candidate merges are generated
+// bottom-up by node depth (CreatePool) and kept in a bounded pool;
+// sufficient statistics for merged clusters are recomputed exactly from the
+// retained count-stable summary, mirroring the paper's remark that the
+// algorithm accesses "only the relevant parts of the count-stable summary".
+package tsbuild
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"treesketch/internal/container"
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+)
+
+// Options configures TSBuild. The zero value selects the defaults used in
+// the paper's experimental study (Uh = 10000, Lh = 100).
+type Options struct {
+	// BudgetBytes is the target synopsis size S. Construction stops once
+	// SizeBytes() <= BudgetBytes, or when no further merge is possible (the
+	// label-split graph has been reached).
+	BudgetBytes int
+	// HeapUpper is Uh, the maximum number of candidate merge operations the
+	// pool may hold. Defaults to 10000.
+	HeapUpper int
+	// HeapLower is Lh: when the pool shrinks below this bound (and the
+	// budget is not yet met) the pool is regenerated. Defaults to 100.
+	HeapLower int
+	// GroupCap bounds the size of a (label, depth-prefix) group for which
+	// all candidate pairs are enumerated. Larger groups are sorted by a
+	// structural feature and paired within a sliding window of PairWindow
+	// neighbors, keeping candidate generation near-linear on very regular
+	// data (see DESIGN.md). Defaults to 128.
+	GroupCap int
+	// PairWindow is the window width used for oversized groups. Defaults
+	// to 16.
+	PairWindow int
+	// MaxPairEvals caps the number of candidate evaluations per CreatePool
+	// invocation. Defaults to 200000.
+	MaxPairEvals int
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeapUpper <= 0 {
+		o.HeapUpper = 10000
+	}
+	if o.HeapLower < 0 {
+		o.HeapLower = 100
+	}
+	if o.HeapLower == 0 {
+		o.HeapLower = 100
+	}
+	if o.HeapUpper < o.HeapLower {
+		o.HeapUpper = o.HeapLower
+	}
+	if o.GroupCap <= 0 {
+		o.GroupCap = 128
+	}
+	if o.PairWindow <= 0 {
+		o.PairWindow = 16
+	}
+	if o.MaxPairEvals <= 0 {
+		o.MaxPairEvals = 200000
+	}
+	return o
+}
+
+// Stats reports construction telemetry.
+type Stats struct {
+	InitialNodes  int
+	InitialBytes  int
+	FinalNodes    int
+	FinalBytes    int
+	Merges        int
+	PoolBuilds    int
+	PairEvals     int
+	CycleRejects  int
+	FinalSqErr    float64
+	Elapsed       time.Duration
+	BudgetReached bool
+}
+
+// Build compresses the count-stable summary st down to opts.BudgetBytes and
+// returns the resulting TreeSketch (compacted: dense IDs, no tombstones).
+func Build(st *stable.Synopsis, opts Options) (*sketch.Sketch, Stats) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	b := newBuilder(st, opts)
+	stats := Stats{
+		InitialNodes: b.sk.NumNodes(),
+		InitialBytes: b.size,
+	}
+
+	for b.size > opts.BudgetBytes {
+		n := b.createPool()
+		stats.PoolBuilds++
+		if n == 0 {
+			break
+		}
+		// When the freshly built pool is already below Lh, drain it fully;
+		// otherwise stop at Lh and regenerate (Figure 5, line 5).
+		lower := opts.HeapLower
+		if n <= lower {
+			lower = 0
+		}
+		progressed := false
+		for b.size > opts.BudgetBytes && len(b.ops) > lower {
+			if b.step() {
+				stats.Merges++
+				progressed = true
+			} else {
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	out := b.sk.Compact()
+	stats.FinalNodes = out.NumNodes()
+	stats.FinalBytes = out.SizeBytes()
+	stats.FinalSqErr = out.SqErr()
+	stats.PairEvals = b.pairEvals
+	stats.CycleRejects = b.cycleRejects
+	stats.Elapsed = time.Since(start)
+	stats.BudgetReached = stats.FinalBytes <= opts.BudgetBytes
+	return out, stats
+}
+
+// opKey identifies a candidate merge by its (smaller, larger) node IDs.
+type opKey [2]int
+
+func keyOf(a, b int) opKey {
+	if a > b {
+		a, b = b, a
+	}
+	return opKey{a, b}
+}
+
+// op is a candidate merge operation with its current evaluation.
+type op struct {
+	key   opKey
+	errd  float64
+	sized int
+	prio  float64 // errd/sized as pushed into the heap
+	dirty bool    // neighborhood changed since last evaluation
+}
+
+type heapEntry struct {
+	key  opKey
+	prio float64
+}
+
+type builder struct {
+	st   *stable.Synopsis
+	sk   *sketch.Sketch
+	opts Options
+
+	clusterOf []int              // stable class ID -> live sketch node ID
+	parents   []map[int]struct{} // sketch node ID -> live parent IDs
+	size      int                // current SizeBytes, maintained incrementally
+
+	ops     map[opKey]*op
+	nodeOps map[int][]opKey // node ID -> keys of ops referencing it
+	heap    container.MinHeap[heapEntry]
+
+	pairEvals    int
+	cycleRejects int
+}
+
+func newBuilder(st *stable.Synopsis, opts Options) *builder {
+	sk := sketch.FromStable(st)
+	b := &builder{
+		st:        st,
+		sk:        sk,
+		opts:      opts,
+		clusterOf: make([]int, len(st.Nodes)),
+		parents:   make([]map[int]struct{}, len(st.Nodes)),
+		size:      sk.SizeBytes(),
+		ops:       make(map[opKey]*op),
+		nodeOps:   make(map[int][]opKey),
+	}
+	for i := range b.clusterOf {
+		b.clusterOf[i] = i
+	}
+	for _, u := range sk.Nodes {
+		for _, e := range u.Edges {
+			if b.parents[e.Child] == nil {
+				b.parents[e.Child] = make(map[int]struct{})
+			}
+			b.parents[e.Child][u.ID] = struct{}{}
+		}
+	}
+	return b
+}
+
+func (b *builder) alive(id int) bool {
+	return id >= 0 && id < len(b.sk.Nodes) && b.sk.Nodes[id] != nil
+}
+
+// statsFor computes the exact extent count and per-target sufficient
+// statistics for a hypothetical cluster made of the given stable classes,
+// under the current cluster assignment. Cost is linear in the stable edges
+// of the members.
+func (b *builder) statsFor(members []int) (count int, edges []sketch.Edge, depth int) {
+	type acc struct {
+		sum, sumSq float64
+		minK       int
+		covered    int // members with at least one child in the target
+	}
+	accs := make(map[int]*acc)
+	perTarget := make(map[int]int)
+	for _, sid := range members {
+		sn := b.st.Nodes[sid]
+		count += sn.Count
+		if sn.Depth() > depth {
+			depth = sn.Depth()
+		}
+		for k := range perTarget {
+			delete(perTarget, k)
+		}
+		for _, e := range sn.Edges {
+			perTarget[b.clusterOf[e.Child]] += e.K
+		}
+		c := float64(sn.Count)
+		for target, k := range perTarget {
+			a := accs[target]
+			if a == nil {
+				a = &acc{minK: k}
+				accs[target] = a
+			}
+			kf := float64(k)
+			a.sum += kf * c
+			a.sumSq += kf * kf * c
+			if k < a.minK {
+				a.minK = k
+			}
+			a.covered++
+		}
+	}
+	edges = make([]sketch.Edge, 0, len(accs))
+	for target, a := range accs {
+		minK := float64(a.minK)
+		if a.covered < len(members) {
+			minK = 0 // some member class has no children in the target
+		}
+		edges = append(edges, sketch.Edge{
+			Child: target,
+			Avg:   a.sum / float64(count),
+			Sum:   a.sum,
+			SumSq: a.sumSq,
+			MinK:  minK,
+		})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Child < edges[j].Child })
+	return count, edges, depth
+}
+
+// combinedEdgeStats computes the sufficient statistics of the single edge
+// from a cluster with the given stable members to the hypothetical union of
+// target clusters t1 and t2 (t2 < 0 means just t1).
+func (b *builder) combinedEdgeStats(members []int, t1, t2 int) (sum, sumSq, minK float64) {
+	first := true
+	for _, sid := range members {
+		sn := b.st.Nodes[sid]
+		k := 0
+		for _, e := range sn.Edges {
+			c := b.clusterOf[e.Child]
+			if c == t1 || c == t2 {
+				k += e.K
+			}
+		}
+		if first || float64(k) < minK {
+			minK = float64(k)
+		}
+		first = false
+		if k > 0 {
+			kf := float64(k)
+			c := float64(sn.Count)
+			sum += kf * c
+			sumSq += kf * kf * c
+		}
+	}
+	return sum, sumSq, minK
+}
+
+func edgeSq(e sketch.Edge, count int) float64 {
+	return e.SumSq - e.Sum*e.Sum/float64(count)
+}
+
+// evaluate computes errd and sized for merging live nodes x and y. ok is
+// false when the merge is inadmissible (cycle-creating or involving the
+// root cluster).
+func (b *builder) evaluate(x, y int) (errd float64, sized int, ok bool) {
+	b.pairEvals++
+	nx, ny := b.sk.Nodes[x], b.sk.Nodes[y]
+	if x == b.sk.Root || y == b.sk.Root {
+		return 0, 0, false
+	}
+	if b.sk.Reaches(x, y) || b.sk.Reaches(y, x) {
+		b.cycleRejects++
+		return 0, 0, false
+	}
+
+	members := mergeSorted(nx.Members, ny.Members)
+	count, edges, _ := b.statsFor(members)
+	var sqW float64
+	for _, e := range edges {
+		sqW += edgeSq(e, count)
+	}
+	delta := sqW - nx.SqErr() - ny.SqErr()
+
+	// Parent side: edges p->x and p->y fuse into p->w. Iterate parents in
+	// sorted order so floating-point accumulation is deterministic.
+	dupIn := 0
+	for _, p := range b.sortedUnionParents(x, y) {
+		pn := b.sk.Nodes[p]
+		var oldSq float64
+		hasBoth := 0
+		if e, found := pn.EdgeTo(x); found {
+			oldSq += edgeSq(e, pn.Count)
+			hasBoth++
+		}
+		if e, found := pn.EdgeTo(y); found {
+			oldSq += edgeSq(e, pn.Count)
+			hasBoth++
+		}
+		if hasBoth == 2 {
+			dupIn++
+		}
+		sum, sumSq, _ := b.combinedEdgeStats(pn.Members, x, y)
+		newSq := sumSq - sum*sum/float64(pn.Count)
+		delta += newSq - oldSq
+	}
+
+	dupOut := len(nx.Edges) + len(ny.Edges) - len(edges)
+	sized = sketch.NodeBytes + sketch.EdgeBytes*(dupOut+dupIn)
+	if delta < 0 {
+		delta = 0 // numeric noise; coarsening never reduces squared error
+	}
+	return delta, sized, true
+}
+
+func (b *builder) unionParents(x, y int) map[int]struct{} {
+	out := make(map[int]struct{}, len(b.parents[x])+len(b.parents[y]))
+	for p := range b.parents[x] {
+		out[p] = struct{}{}
+	}
+	for p := range b.parents[y] {
+		out[p] = struct{}{}
+	}
+	delete(out, x)
+	delete(out, y)
+	return out
+}
+
+func (b *builder) sortedUnionParents(x, y int) []int {
+	set := b.unionParents(x, y)
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// apply performs the merge of x and y, returning the new node's ID. The
+// caller must have verified admissibility via evaluate.
+func (b *builder) apply(x, y int) int {
+	nx, ny := b.sk.Nodes[x], b.sk.Nodes[y]
+	members := mergeSorted(nx.Members, ny.Members)
+
+	w := &sketch.Node{
+		ID:      len(b.sk.Nodes),
+		Label:   nx.Label,
+		Members: members,
+	}
+	b.sk.Nodes = append(b.sk.Nodes, w)
+	b.parents = append(b.parents, nil)
+	for _, sid := range members {
+		b.clusterOf[sid] = w.ID
+	}
+	w.Count, w.Edges, w.Depth = b.statsFor(members)
+
+	removedEdges := len(nx.Edges) + len(ny.Edges)
+	addedEdges := len(w.Edges)
+
+	// Rewire parents: drop p->x and p->y, add p->w with exact stats.
+	pset := b.sortedUnionParents(x, y)
+	b.parents[w.ID] = make(map[int]struct{}, len(pset))
+	for _, p := range pset {
+		pn := b.sk.Nodes[p]
+		kept := pn.Edges[:0]
+		for _, e := range pn.Edges {
+			if e.Child == x || e.Child == y {
+				removedEdges++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		// clusterOf already maps the merged members to w, so the combined
+		// edge is measured directly against the new cluster.
+		sum, sumSq, minK := b.combinedEdgeStats(pn.Members, w.ID, -1)
+		kept = append(kept, sketch.Edge{Child: w.ID, Avg: sum / float64(pn.Count), Sum: sum, SumSq: sumSq, MinK: minK})
+		sort.Slice(kept, func(i, j int) bool { return kept[i].Child < kept[j].Child })
+		pn.Edges = kept
+		addedEdges++
+		b.parents[w.ID][p] = struct{}{}
+	}
+
+	// Children: their parent sets lose x and y and gain w.
+	for _, e := range w.Edges {
+		ps := b.parents[e.Child]
+		if ps == nil {
+			ps = make(map[int]struct{})
+			b.parents[e.Child] = ps
+		}
+		delete(ps, x)
+		delete(ps, y)
+		ps[w.ID] = struct{}{}
+	}
+
+	b.sk.Nodes[x] = nil
+	b.sk.Nodes[y] = nil
+	b.parents[x] = nil
+	b.parents[y] = nil
+
+	b.size -= sketch.NodeBytes + sketch.EdgeBytes*(removedEdges-addedEdges)
+	return w.ID
+}
+
+// step pops candidate operations until one can be applied; it returns false
+// when the pool is exhausted without an applicable merge.
+func (b *builder) step() bool {
+	for {
+		entry, ok := b.heap.PopMin()
+		if !ok {
+			// Registry entries may remain that lost their heap copies
+			// (shouldn't happen, but don't loop forever).
+			b.ops = make(map[opKey]*op)
+			b.nodeOps = make(map[int][]opKey)
+			return false
+		}
+		o, exists := b.ops[entry.key]
+		if !exists || o.prio != entry.prio {
+			continue // superseded or stale duplicate heap copy
+		}
+		x, y := o.key[0], o.key[1]
+		if !b.alive(x) || !b.alive(y) {
+			b.removeOp(o.key)
+			continue
+		}
+		if o.dirty {
+			errd, sized, admissible := b.evaluate(x, y)
+			if !admissible {
+				b.removeOp(o.key)
+				continue
+			}
+			o.errd, o.sized, o.dirty = errd, sized, false
+			o.prio = ratio(errd, sized)
+			b.heap.Push(o.prio, heapEntry{o.key, o.prio})
+			continue
+		}
+		// Re-check admissibility at application time: the graph may have
+		// changed in ways the dirty-marking does not cover (reachability).
+		if b.sk.Reaches(x, y) || b.sk.Reaches(y, x) {
+			b.cycleRejects++
+			b.removeOp(o.key)
+			continue
+		}
+		b.removeOp(o.key)
+		wid := b.apply(x, y)
+		b.afterMerge(x, y, wid)
+		return true
+	}
+}
+
+func ratio(errd float64, sized int) float64 {
+	if sized <= 0 {
+		return math.Inf(1)
+	}
+	return errd / float64(sized)
+}
+
+// afterMerge rewrites pool operations that referenced the merged nodes
+// (Figure 5, lines 9-13) and marks operations in the affected neighborhood
+// dirty for re-evaluation (line 14).
+func (b *builder) afterMerge(x, y, wid int) {
+	// Replace ops touching x or y with ops pairing the surviving node
+	// against w.
+	touched := append([]opKey(nil), b.nodeOps[x]...)
+	touched = append(touched, b.nodeOps[y]...)
+	delete(b.nodeOps, x)
+	delete(b.nodeOps, y)
+	for _, k := range touched {
+		if _, exists := b.ops[k]; !exists {
+			continue
+		}
+		b.removeOp(k)
+		other := -1
+		switch {
+		case k[0] == x || k[0] == y:
+			other = k[1]
+		case k[1] == x || k[1] == y:
+			other = k[0]
+		}
+		if other == x || other == y || other == wid || !b.alive(other) {
+			continue
+		}
+		if b.sk.Nodes[other].Label != b.sk.Nodes[wid].Label {
+			continue
+		}
+		b.addOp(other, wid)
+	}
+
+	// Affected neighborhood: ops referencing parents or children of w.
+	// Ops keep their existing heap copy; when popped while dirty they are
+	// re-evaluated and re-pushed with the fresh ratio.
+	mark := func(id int) {
+		for _, k := range b.nodeOps[id] {
+			if o, exists := b.ops[k]; exists {
+				o.dirty = true
+			}
+		}
+	}
+	for p := range b.parents[wid] {
+		mark(p)
+	}
+	for _, e := range b.sk.Nodes[wid].Edges {
+		mark(e.Child)
+	}
+}
+
+// addOp evaluates and registers a candidate merge, returning true when it
+// was admissible.
+func (b *builder) addOp(x, y int) bool {
+	k := keyOf(x, y)
+	if _, exists := b.ops[k]; exists {
+		return true
+	}
+	errd, sized, ok := b.evaluate(x, y)
+	if !ok {
+		return false
+	}
+	o := &op{key: k, errd: errd, sized: sized, prio: ratio(errd, sized)}
+	b.ops[k] = o
+	b.nodeOps[k[0]] = append(b.nodeOps[k[0]], k)
+	b.nodeOps[k[1]] = append(b.nodeOps[k[1]], k)
+	b.heap.Push(o.prio, heapEntry{k, o.prio})
+	return true
+}
+
+func (b *builder) removeOp(k opKey) {
+	delete(b.ops, k)
+	for _, id := range k {
+		keys := b.nodeOps[id]
+		for i, kk := range keys {
+			if kk == k {
+				keys[i] = keys[len(keys)-1]
+				b.nodeOps[id] = keys[:len(keys)-1]
+				break
+			}
+		}
+	}
+}
+
+// createPool implements CreatePool (Figure 6): it scans same-label node
+// pairs bottom-up by depth, evaluates them, and retains the HeapUpper best
+// by marginal-gain ratio. It replaces the current pool and returns the
+// number of operations installed.
+func (b *builder) createPool() int {
+	b.ops = make(map[opKey]*op)
+	b.nodeOps = make(map[int][]opKey)
+	b.heap.Reset()
+
+	type cand struct {
+		key   opKey
+		errd  float64
+		sized int
+	}
+	pool := container.NewBoundedMinSet[cand](b.opts.HeapUpper)
+	evalBudget := b.opts.MaxPairEvals
+
+	offer := func(x, y int) {
+		if evalBudget <= 0 {
+			return
+		}
+		k := keyOf(x, y)
+		// When the pool is full, an op must beat the current worst to be
+		// retained; evaluation is the expensive part so this pre-check on a
+		// zero lower bound cannot help — evaluate and let the set decide.
+		evalBudget--
+		errd, sized, ok := b.evaluate(x, y)
+		if !ok {
+			return
+		}
+		pool.Push(ratio(errd, sized), cand{k, errd, sized})
+	}
+
+	// Group live non-root nodes by label, each group sorted by depth.
+	groups := make(map[string][]*sketch.Node)
+	height := 0
+	for _, u := range b.sk.Nodes {
+		if u == nil || u.ID == b.sk.Root {
+			continue
+		}
+		groups[u.Label] = append(groups[u.Label], u)
+		if u.Depth > height {
+			height = u.Depth
+		}
+	}
+	labels := make([]string, 0, len(groups))
+	for l, g := range groups {
+		if len(g) < 2 {
+			delete(groups, l)
+			continue
+		}
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].Depth != g[j].Depth {
+				return g[i].Depth < g[j].Depth
+			}
+			return g[i].ID < g[j].ID
+		})
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	for level := 0; level <= height; level++ {
+		if pool.Full() || evalBudget <= 0 {
+			break
+		}
+		for _, l := range labels {
+			g := groups[l]
+			// prefix: nodes with Depth <= level; newStart: first with
+			// Depth == level.
+			hi := sort.Search(len(g), func(i int) bool { return g[i].Depth > level })
+			lo := sort.Search(len(g), func(i int) bool { return g[i].Depth >= level })
+			if lo == hi {
+				continue // no new nodes at this level for this label
+			}
+			if hi <= b.opts.GroupCap {
+				// All pairs (u, v) with max depth == level: new x new and
+				// new x shallower.
+				for i := lo; i < hi; i++ {
+					for j := 0; j < i; j++ {
+						offer(g[i].ID, g[j].ID)
+					}
+				}
+			} else {
+				b.windowedPairs(g[:hi], lo, offer)
+			}
+		}
+	}
+
+	cands, _ := pool.Drain()
+	for _, c := range cands {
+		if _, exists := b.ops[c.key]; exists {
+			continue
+		}
+		o := &op{key: c.key, errd: c.errd, sized: c.sized, prio: ratio(c.errd, c.sized)}
+		b.ops[c.key] = o
+		b.nodeOps[c.key[0]] = append(b.nodeOps[c.key[0]], c.key)
+		b.nodeOps[c.key[1]] = append(b.nodeOps[c.key[1]], c.key)
+		b.heap.Push(o.prio, heapEntry{c.key, o.prio})
+	}
+	return len(b.ops)
+}
+
+// windowedPairs handles oversized (label, depth) groups: nodes are sorted
+// by a cheap structural feature and each new node is paired only with its
+// PairWindow nearest neighbors in feature order.
+func (b *builder) windowedPairs(g []*sketch.Node, newStart int, offer func(x, y int)) {
+	feat := func(n *sketch.Node) float64 {
+		f := float64(len(n.Edges)) * 1e6
+		for _, e := range n.Edges {
+			f += e.Avg
+			f += float64(e.Child&1023) * 17
+		}
+		return f
+	}
+	sorted := append([]*sketch.Node(nil), g...)
+	sort.Slice(sorted, func(i, j int) bool { return feat(sorted[i]) < feat(sorted[j]) })
+	isNew := make(map[int]bool, len(g)-newStart)
+	for _, n := range g[newStart:] {
+		isNew[n.ID] = true
+	}
+	w := b.opts.PairWindow
+	for i, n := range sorted {
+		for j := i + 1; j < len(sorted) && j <= i+w; j++ {
+			m := sorted[j]
+			if isNew[n.ID] || isNew[m.ID] {
+				offer(n.ID, m.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package tsbuild
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+func buildDoc(src string, budget int) (*xmltree.Tree, *stable.Synopsis, *sketch.Sketch, Stats) {
+	tr := xmltree.MustCompact(src)
+	st := stable.Build(tr)
+	sk, stats := Build(st, Options{BudgetBytes: budget})
+	return tr, st, sk, stats
+}
+
+func TestBuildNoMergeWhenBudgetSuffices(t *testing.T) {
+	tr, st, sk, stats := buildDoc("r(a(b,c),a(b,c))", 1<<20)
+	if stats.Merges != 0 {
+		t.Fatalf("Merges = %d, want 0", stats.Merges)
+	}
+	if sk.NumNodes() != st.NumNodes() {
+		t.Fatalf("nodes %d, want %d", sk.NumNodes(), st.NumNodes())
+	}
+	if sk.SqErr() != 0 {
+		t.Fatalf("SqErr = %g, want 0", sk.SqErr())
+	}
+	if sk.TotalElements() != tr.Size() {
+		t.Fatalf("TotalElements = %d, want %d", sk.TotalElements(), tr.Size())
+	}
+	if err := VerifyAgainstStable(sk, st); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.BudgetReached {
+		t.Fatal("BudgetReached = false")
+	}
+}
+
+func TestBuildPrefersLowErrorMerge(t *testing.T) {
+	// Four leaf-parent classes: a variants with 1 vs 2 x-children (cheap to
+	// merge: squared error 0.5), b variants with 1 vs 9 y-children
+	// (expensive: squared error 32). With a budget allowing exactly one
+	// merge, the a pair must fuse and the b pair must survive.
+	src := "r(a(x),a(x,x),b(y),b(y*9))"
+	_, st, sk, stats := buildDoc(src, stable.Build(xmltree.MustCompact(src)).SizeBytes()-28)
+	if stats.Merges != 1 {
+		t.Fatalf("Merges = %d, want 1", stats.Merges)
+	}
+	var aClusters, bClusters int
+	var aNode *sketch.Node
+	for _, u := range sk.Nodes {
+		switch u.Label {
+		case "a":
+			aClusters++
+			aNode = u
+		case "b":
+			bClusters++
+		}
+	}
+	if aClusters != 1 || bClusters != 2 {
+		t.Fatalf("clusters a=%d b=%d, want 1/2", aClusters, bClusters)
+	}
+	if aNode.Count != 2 {
+		t.Fatalf("merged a count = %d, want 2", aNode.Count)
+	}
+	// Average x-children across the merged extent: (1+2)/2.
+	var xID int
+	for _, u := range sk.Nodes {
+		if u.Label == "x" {
+			xID = u.ID
+		}
+	}
+	e, ok := aNode.EdgeTo(xID)
+	if !ok || math.Abs(e.Avg-1.5) > 1e-12 {
+		t.Fatalf("a->x avg = %v (ok=%v), want 1.5", e.Avg, ok)
+	}
+	if err := VerifyAgainstStable(sk, st); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sk.SqErr()-0.5) > 1e-9 {
+		t.Fatalf("SqErr = %g, want 0.5", sk.SqErr())
+	}
+}
+
+func TestBuildDownToLabelSplitGraph(t *testing.T) {
+	// With a tiny budget, construction compresses until no same-label merge
+	// remains: at most one cluster per (label, up to cycle constraints).
+	tr := xmltree.MustCompact("bib(author*4(name,paper(title),paper(title,title)),author*2(name))")
+	st := stable.Build(tr)
+	sk, stats := Build(st, Options{BudgetBytes: 1})
+	byLabel := map[string]int{}
+	for _, u := range sk.Nodes {
+		byLabel[u.Label]++
+	}
+	for l, n := range byLabel {
+		if n != 1 {
+			t.Errorf("label %s has %d clusters at label-split, want 1", l, n)
+		}
+	}
+	if stats.BudgetReached {
+		t.Log("budget unexpectedly reached; fine if label-split graph fits")
+	}
+	if sk.TotalElements() != tr.Size() {
+		t.Fatalf("TotalElements = %d, want %d", sk.TotalElements(), tr.Size())
+	}
+	if err := VerifyAgainstStable(sk, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildNeverMergesRoot(t *testing.T) {
+	tr := xmltree.MustCompact("a(b(a(b,b),a(b,b,b)),b)")
+	st := stable.Build(tr)
+	sk, _ := Build(st, Options{BudgetBytes: 1})
+	if sk.Nodes[sk.Root].Count != 1 {
+		t.Fatalf("root cluster count = %d, want 1", sk.Nodes[sk.Root].Count)
+	}
+	if err := VerifyAgainstStable(sk, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRejectsCycleCreatingMerges(t *testing.T) {
+	// A chain a(b(a(b(a)))) — every same-label pair is ancestor/descendant,
+	// so no merge is admissible and construction terminates with the stable
+	// summary intact.
+	tr := xmltree.MustCompact("a(b(a(b(a))))")
+	st := stable.Build(tr)
+	sk, stats := Build(st, Options{BudgetBytes: 1})
+	if stats.Merges != 0 {
+		t.Fatalf("Merges = %d, want 0 (all pairs cycle-creating)", stats.Merges)
+	}
+	if sk.NumNodes() != st.NumNodes() {
+		t.Fatalf("nodes %d, want %d", sk.NumNodes(), st.NumNodes())
+	}
+	if err := sk.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CycleRejects == 0 {
+		t.Fatal("expected cycle rejections to be recorded")
+	}
+}
+
+func TestBuildRecursiveDocumentStaysAcyclic(t *testing.T) {
+	// Recursion with siblings: some merges are admissible, some would close
+	// cycles. The result must always be a DAG.
+	tr := xmltree.MustCompact("r(list(item(list(item,item)),item),list(item,item,item))")
+	st := stable.Build(tr)
+	sk, _ := Build(st, Options{BudgetBytes: 1})
+	if err := VerifyAgainstStable(sk, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildBudgetMonotonicity(t *testing.T) {
+	// Construction follows one merge trajectory; a smaller budget applies a
+	// superset of the merges, so squared error is monotone in the budget.
+	tr := xmltree.MustCompact("r(a*2(x),a*3(x,x),a(x*5),b*4(y),b(y*3),c(a(x,x,x)))")
+	st := stable.Build(tr)
+	prevSq := -1.0
+	for _, budget := range []int{1 << 20, 200, 150, 100, 1} {
+		sk, _ := Build(st, Options{BudgetBytes: budget})
+		sq := sk.SqErr()
+		if prevSq >= 0 && sq+1e-9 < prevSq {
+			t.Fatalf("budget %d: SqErr %g < previous %g (larger budget)", budget, sq, prevSq)
+		}
+		prevSq = sq
+		if err := VerifyAgainstStable(sk, st); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+	}
+}
+
+func TestBuildSizeAccountingMatchesRecount(t *testing.T) {
+	tr := xmltree.MustCompact("r(a*3(b(c),b(c,c)),a*2(b(c*4)),d(b(c)))")
+	st := stable.Build(tr)
+	for _, budget := range []int{1, 100, 180, 250} {
+		sk, stats := Build(st, Options{BudgetBytes: budget})
+		if sk.SizeBytes() != stats.FinalBytes {
+			t.Fatalf("budget %d: FinalBytes %d != recount %d", budget, stats.FinalBytes, sk.SizeBytes())
+		}
+		if stats.BudgetReached && stats.FinalBytes > budget {
+			t.Fatalf("budget %d: BudgetReached but FinalBytes %d", budget, stats.FinalBytes)
+		}
+	}
+}
+
+func TestBuildSmallHeapBounds(t *testing.T) {
+	// Force repeated pool regeneration with a tiny pool.
+	tr := xmltree.MustCompact("r(a*2(x),a*2(x,x),a*2(x*3),a*2(x*4),b*3(y),b(y*2))")
+	st := stable.Build(tr)
+	sk, stats := Build(st, Options{BudgetBytes: 1, HeapUpper: 3, HeapLower: 1})
+	if stats.PoolBuilds < 2 {
+		t.Fatalf("PoolBuilds = %d, want >= 2 with tiny heap", stats.PoolBuilds)
+	}
+	if err := VerifyAgainstStable(sk, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildWindowedPairGuard(t *testing.T) {
+	// Many same-label same-depth classes trigger the windowed pairing path.
+	src := "r("
+	for i := 0; i < 40; i++ {
+		if i > 0 {
+			src += ","
+		}
+		// Distinct child counts make 40 distinct leaf-parent classes.
+		src += "a(x"
+		for j := 0; j < i%7; j++ {
+			src += ",x"
+		}
+		src += ")"
+	}
+	src += ")"
+	tr := xmltree.MustCompact(src)
+	st := stable.Build(tr)
+	sk, _ := Build(st, Options{BudgetBytes: 1, GroupCap: 4, PairWindow: 2})
+	if err := VerifyAgainstStable(sk, st); err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]int{}
+	for _, u := range sk.Nodes {
+		byLabel[u.Label]++
+	}
+	if byLabel["a"] != 1 {
+		t.Fatalf("a clusters = %d, want 1 even with windowed pairing", byLabel["a"])
+	}
+}
+
+func TestStatsTelemetry(t *testing.T) {
+	_, _, _, stats := buildDoc("r(a(x),a(x,x))", 1)
+	if stats.InitialNodes == 0 || stats.InitialBytes == 0 {
+		t.Fatalf("initial telemetry empty: %+v", stats)
+	}
+	if stats.PairEvals == 0 {
+		t.Fatalf("PairEvals = 0: %+v", stats)
+	}
+	if stats.Elapsed <= 0 {
+		t.Fatalf("Elapsed = %v", stats.Elapsed)
+	}
+}
+
+func randomDoc(seed uint64, maxDepth int) *xmltree.Tree {
+	tr := xmltree.NewTree()
+	rng := seed
+	next := func(n uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % n
+	}
+	labels := []string{"a", "b", "c", "d"}
+	var build func(depth int) *xmltree.Node
+	build = func(depth int) *xmltree.Node {
+		n := tr.NewNode(labels[next(4)])
+		if depth < maxDepth {
+			for i := uint64(0); i < next(4); i++ {
+				n.Children = append(n.Children, build(depth+1))
+			}
+		}
+		return n
+	}
+	tr.Root = tr.NewNode("r")
+	for i := uint64(0); i <= next(6); i++ {
+		tr.Root.Children = append(tr.Root.Children, build(1))
+	}
+	return tr
+}
+
+func TestPropBuildInvariants(t *testing.T) {
+	f := func(seed uint64, budgetRaw uint16) bool {
+		tr := randomDoc(seed, 5)
+		st := stable.Build(tr)
+		budget := int(budgetRaw)%st.SizeBytes() + 1
+		sk, stats := Build(st, Options{BudgetBytes: budget})
+		if err := VerifyAgainstStable(sk, st); err != nil {
+			t.Logf("seed %d budget %d: %v", seed, budget, err)
+			return false
+		}
+		if sk.TotalElements() != tr.Size() {
+			t.Logf("seed %d: elements %d != %d", seed, sk.TotalElements(), tr.Size())
+			return false
+		}
+		if sk.Nodes[sk.Root].Count != 1 {
+			t.Logf("seed %d: root count %d", seed, sk.Nodes[sk.Root].Count)
+			return false
+		}
+		if stats.FinalBytes > stats.InitialBytes {
+			t.Logf("seed %d: grew from %d to %d bytes", seed, stats.InitialBytes, stats.FinalBytes)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMergedSketchExpandPreservesElementTotals(t *testing.T) {
+	// Expanding a compressed sketch must reproduce approximately the same
+	// number of elements per label (exactly, when rounding carries settle).
+	f := func(seed uint64) bool {
+		tr := randomDoc(seed, 4)
+		st := stable.Build(tr)
+		sk, _ := Build(st, Options{BudgetBytes: st.SizeBytes() / 2})
+		out, err := sk.Expand(1 << 20)
+		if err != nil {
+			t.Logf("seed %d: expand: %v", seed, err)
+			return false
+		}
+		// The expansion of a half-budget synopsis stays within a small
+		// constant factor of the original document size (rounding carries
+		// amplify through nested fractional edges, so the bound is loose).
+		ratio := float64(out.Size()) / float64(tr.Size())
+		if ratio < 0.25 || ratio > 4.0 {
+			t.Logf("seed %d: expand size %d vs doc %d", seed, out.Size(), tr.Size())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

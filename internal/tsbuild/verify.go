@@ -1,0 +1,131 @@
+package tsbuild
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+)
+
+// VerifyAgainstStable checks that sk is a consistent clustering of the
+// stable summary st: the Members sets partition the stable classes, every
+// cluster's count/depth/edge statistics equal the values recomputed from
+// scratch, and the structural invariants of sketch.Check hold. It exists to
+// catch bugs in the incremental statistics maintenance of the builder and
+// is used heavily by tests.
+func VerifyAgainstStable(sk *sketch.Sketch, st *stable.Synopsis) error {
+	if err := sk.Check(); err != nil {
+		return err
+	}
+	clusterOf := make([]int, len(st.Nodes))
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	for _, u := range sk.Nodes {
+		if u == nil {
+			continue
+		}
+		if len(u.Members) == 0 {
+			return fmt.Errorf("tsbuild: node %d has no members", u.ID)
+		}
+		for _, sid := range u.Members {
+			if sid < 0 || sid >= len(st.Nodes) {
+				return fmt.Errorf("tsbuild: node %d member %d out of range", u.ID, sid)
+			}
+			if clusterOf[sid] != -1 {
+				return fmt.Errorf("tsbuild: stable class %d in two clusters (%d and %d)", sid, clusterOf[sid], u.ID)
+			}
+			clusterOf[sid] = u.ID
+			if st.Nodes[sid].Label != u.Label {
+				return fmt.Errorf("tsbuild: node %d (label %s) contains class %d (label %s)", u.ID, u.Label, sid, st.Nodes[sid].Label)
+			}
+		}
+	}
+	for sid, c := range clusterOf {
+		if c == -1 {
+			return fmt.Errorf("tsbuild: stable class %d not assigned to any cluster", sid)
+		}
+	}
+	if clusterOf[st.Root] != sk.Root {
+		return fmt.Errorf("tsbuild: stable root class %d maps to node %d, sketch root is %d", st.Root, clusterOf[st.Root], sk.Root)
+	}
+
+	for _, u := range sk.Nodes {
+		if u == nil {
+			continue
+		}
+		count, edges, depth := recomputeStats(st, clusterOf, u.Members)
+		if count != u.Count {
+			return fmt.Errorf("tsbuild: node %d count %d, recomputed %d", u.ID, u.Count, count)
+		}
+		if depth != u.Depth {
+			return fmt.Errorf("tsbuild: node %d depth %d, recomputed %d", u.ID, u.Depth, depth)
+		}
+		if len(edges) != len(u.Edges) {
+			return fmt.Errorf("tsbuild: node %d has %d edges, recomputed %d", u.ID, len(u.Edges), len(edges))
+		}
+		for i, e := range edges {
+			got := u.Edges[i]
+			if got.Child != e.Child {
+				return fmt.Errorf("tsbuild: node %d edge %d child %d, recomputed %d", u.ID, i, got.Child, e.Child)
+			}
+			if !closeTo(got.Sum, e.Sum) || !closeTo(got.SumSq, e.SumSq) || !closeTo(got.Avg, e.Avg) || !closeTo(got.MinK, e.MinK) {
+				return fmt.Errorf("tsbuild: node %d edge to %d stats (%g,%g,%g), recomputed (%g,%g,%g)",
+					u.ID, e.Child, got.Avg, got.Sum, got.SumSq, e.Avg, e.Sum, e.SumSq)
+			}
+		}
+	}
+	return nil
+}
+
+func closeTo(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}
+
+// recomputeStats is the from-scratch counterpart of builder.statsFor.
+func recomputeStats(st *stable.Synopsis, clusterOf []int, members []int) (count int, edges []sketch.Edge, depth int) {
+	type acc struct {
+		sum, sumSq float64
+		minK       int
+		covered    int
+	}
+	accs := make(map[int]*acc)
+	for _, sid := range members {
+		sn := st.Nodes[sid]
+		count += sn.Count
+		if sn.Depth() > depth {
+			depth = sn.Depth()
+		}
+		perTarget := make(map[int]int)
+		for _, e := range sn.Edges {
+			perTarget[clusterOf[e.Child]] += e.K
+		}
+		c := float64(sn.Count)
+		for target, k := range perTarget {
+			a := accs[target]
+			if a == nil {
+				a = &acc{minK: k}
+				accs[target] = a
+			}
+			kf := float64(k)
+			a.sum += kf * c
+			a.sumSq += kf * kf * c
+			if k < a.minK {
+				a.minK = k
+			}
+			a.covered++
+		}
+	}
+	edges = make([]sketch.Edge, 0, len(accs))
+	for target, a := range accs {
+		minK := float64(a.minK)
+		if a.covered < len(members) {
+			minK = 0
+		}
+		edges = append(edges, sketch.Edge{Child: target, Avg: a.sum / float64(count), Sum: a.sum, SumSq: a.sumSq, MinK: minK})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Child < edges[j].Child })
+	return count, edges, depth
+}

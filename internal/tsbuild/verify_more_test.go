@@ -1,0 +1,111 @@
+package tsbuild
+
+import (
+	"math"
+	"testing"
+
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+// corrupt applies fn to a freshly built (stable-equivalent) sketch and
+// expects VerifyAgainstStable to reject it.
+func corrupt(t *testing.T, doc string, fn func(sk *sketch.Sketch, st *stable.Synopsis)) {
+	t.Helper()
+	tr := xmltree.MustCompact(doc)
+	st := stable.Build(tr)
+	sk := sketch.FromStable(st)
+	if err := VerifyAgainstStable(sk, st); err != nil {
+		t.Fatalf("pristine sketch rejected: %v", err)
+	}
+	fn(sk, st)
+	if err := VerifyAgainstStable(sk, st); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestVerifyDetectsWrongCount(t *testing.T) {
+	corrupt(t, "r(a(b),a(b))", func(sk *sketch.Sketch, _ *stable.Synopsis) {
+		for _, u := range sk.Nodes {
+			if u.Label == "a" {
+				u.Count++
+			}
+		}
+	})
+}
+
+func TestVerifyDetectsWrongDepth(t *testing.T) {
+	corrupt(t, "r(a(b))", func(sk *sketch.Sketch, _ *stable.Synopsis) {
+		sk.Nodes[sk.Root].Depth += 3
+	})
+}
+
+func TestVerifyDetectsWrongStats(t *testing.T) {
+	corrupt(t, "r(a(b),a(b,b))", func(sk *sketch.Sketch, _ *stable.Synopsis) {
+		for _, u := range sk.Nodes {
+			if u.Label == "a" && len(u.Edges) > 0 {
+				u.Edges[0].Sum += 1
+				u.Edges[0].Avg = u.Edges[0].Sum / float64(u.Count)
+			}
+		}
+	})
+}
+
+func TestVerifyDetectsMissingMember(t *testing.T) {
+	corrupt(t, "r(a,b)", func(sk *sketch.Sketch, _ *stable.Synopsis) {
+		for _, u := range sk.Nodes {
+			if u.Label == "a" {
+				// Claim membership of a class that belongs elsewhere.
+				u.Members = nil
+			}
+		}
+	})
+}
+
+func TestVerifyDetectsDuplicateMembership(t *testing.T) {
+	corrupt(t, "r(a,b)", func(sk *sketch.Sketch, st *stable.Synopsis) {
+		var bClass int
+		for _, n := range st.Nodes {
+			if n.Label == "b" {
+				bClass = n.ID
+			}
+		}
+		for _, u := range sk.Nodes {
+			if u.Label == "a" {
+				u.Members = append(u.Members, bClass)
+			}
+		}
+	})
+}
+
+func TestVerifyDetectsLabelMismatch(t *testing.T) {
+	corrupt(t, "r(a,b)", func(sk *sketch.Sketch, _ *stable.Synopsis) {
+		for _, u := range sk.Nodes {
+			if u.Label == "a" {
+				u.Label = "z"
+			}
+		}
+	})
+}
+
+func TestVerifyDetectsWrongRoot(t *testing.T) {
+	corrupt(t, "r(a(b))", func(sk *sketch.Sketch, _ *stable.Synopsis) {
+		// Swap labels so the structure stays Check-valid but the root
+		// class no longer matches the stable root's class.
+		for _, u := range sk.Nodes {
+			if u.Label == "a" {
+				sk.Root = u.ID
+			}
+		}
+	})
+}
+
+func TestRatioInfiniteOnZeroSize(t *testing.T) {
+	if got := ratio(5, 0); !math.IsInf(got, 1) {
+		t.Fatalf("ratio(5,0) = %v, want +Inf", got)
+	}
+	if got := ratio(6, 3); got != 2 {
+		t.Fatalf("ratio(6,3) = %v, want 2", got)
+	}
+}

@@ -1,0 +1,139 @@
+package xmltree
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Parse reads an XML document from r and returns its element tree. Text
+// content, attributes, comments, and processing instructions are discarded:
+// the TreeSketch framework summarizes only the label structure (Section 2 of
+// the paper). Parse fails on malformed XML or on documents with no element.
+func Parse(r io.Reader) (*Tree, error) {
+	t := NewTree()
+	dec := xml.NewDecoder(bufio.NewReader(r))
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			n := t.NewNode(el.Name.Local)
+			if len(stack) == 0 {
+				if t.Root != nil {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements (%q and %q)", t.Root.Label, n.Label)
+				}
+				t.Root = n
+			} else {
+				p := stack[len(stack)-1]
+				p.Children = append(p.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", el.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if t.Root == nil {
+		return nil, fmt.Errorf("xmltree: parse: document has no elements")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: %d unclosed elements", len(stack))
+	}
+	return t, nil
+}
+
+// ParseString parses a document held in a string; a convenience for tests
+// and examples.
+func ParseString(s string) (*Tree, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseFile parses the XML document stored at path.
+func ParseFile(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Write serializes the tree as XML to w. Elements carry no attributes or
+// text, so the output is a pure tag skeleton; it round-trips through Parse.
+func (t *Tree) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t.Root != nil {
+		if err := writeNode(bw, t.Root, 0); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeNode(w *bufio.Writer, n *Node, depth int) error {
+	for i := 0; i < depth; i++ {
+		if err := w.WriteByte(' '); err != nil {
+			return err
+		}
+	}
+	if len(n.Children) == 0 {
+		_, err := fmt.Fprintf(w, "<%s/>\n", n.Label)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "<%s>\n", n.Label); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := writeNode(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < depth; i++ {
+		if err := w.WriteByte(' '); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "</%s>\n", n.Label)
+	return err
+}
+
+// WriteFile serializes the tree as XML to the file at path.
+func (t *Tree) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("xmltree: %w", err)
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// XMLSize reports the number of bytes the document occupies when serialized
+// by Write. It is the "file size" used for the Table 1 dataset statistics.
+func (t *Tree) XMLSize() int64 {
+	var cw countingWriter
+	// Write through the counting writer; errors are impossible.
+	t.Write(&cw)
+	return cw.n
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

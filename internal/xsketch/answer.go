@@ -1,0 +1,209 @@
+package xsketch
+
+import (
+	"math/rand"
+
+	"treesketch/internal/esd"
+	"treesketch/internal/query"
+	"treesketch/internal/xmltree"
+)
+
+// AnswerOptions configures sampled approximate answers.
+type AnswerOptions struct {
+	// Seed drives the sampling.
+	Seed int64
+	// MaxNodes caps the materialized answer (default 100000); hitting the
+	// cap truncates the answer.
+	MaxNodes int
+	// MaxEmbeddings / MaxHops bound path exploration, as in EstOptions.
+	MaxEmbeddings int
+	MaxHops       int
+}
+
+func (o AnswerOptions) withDefaults() AnswerOptions {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 100000
+	}
+	if o.MaxEmbeddings <= 0 {
+		o.MaxEmbeddings = 2000
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = 12
+	}
+	return o
+}
+
+// Answer is a sampled approximate answer: an approximate nesting tree with
+// variable-tagged labels ("q1:author"), directly comparable via the ESD
+// metric against ExactResult.ESDGraph.
+type Answer struct {
+	Tree      *xmltree.Tree
+	Empty     bool
+	Truncated bool
+}
+
+// ESDGraph hash-conses the sampled answer into the metric's DAG form.
+func (a *Answer) ESDGraph() *esd.Node {
+	if a.Empty || a.Tree == nil || a.Tree.Root == nil {
+		return nil
+	}
+	return esd.FromTree(a.Tree, nil)
+}
+
+// ApproxAnswer generates an approximate tree-structured answer from the
+// twig-XSketch by sampling descendant counts from the edge histograms: the
+// algorithm the paper implemented on top of twig-XSketches for the
+// comparison in Section 6. The answer traverses the query tree; for every
+// element placed in the result it samples, per path embedding, how many
+// descendants that element has, using the recorded joint distributions.
+func (s *Sketch) ApproxAnswer(q *query.Query, opts AnswerOptions) *Answer {
+	opts = opts.withDefaults()
+	a := &answerer{
+		s:    s,
+		est:  &estimator{s: s, opts: EstOptions{MaxEmbeddings: opts.MaxEmbeddings, MaxHops: opts.MaxHops}},
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		opts: opts,
+		t:    xmltree.NewTree(),
+	}
+	qnodes := q.Vars()
+	a.qidx = make(map[*query.Node]int, len(qnodes))
+	for i, qn := range qnodes {
+		a.qidx[qn] = i
+	}
+	a.qnodes = qnodes
+
+	root := a.t.NewNode(qnodes[0].Var + ":" + s.Nodes[s.Root].Label)
+	a.t.Root = root
+	ok := a.fill(root, s.Root, 0)
+	if !ok {
+		return &Answer{Empty: true, Truncated: a.truncated}
+	}
+	return &Answer{Tree: a.t, Truncated: a.truncated}
+}
+
+type answerer struct {
+	s         *Sketch
+	est       *estimator
+	rng       *rand.Rand
+	opts      AnswerOptions
+	t         *xmltree.Tree
+	qnodes    []*query.Node
+	qidx      map[*query.Node]int
+	truncated bool
+}
+
+// fill attaches sampled bindings for every child edge of query variable qi
+// under the result element n (bound to synopsis node src). It returns
+// false when a required edge sampled no bindings.
+func (a *answerer) fill(n *xmltree.Node, src, qi int) bool {
+	for _, edge := range a.qnodes[qi].Edges {
+		ci := a.qidx[edge.Child]
+		placed := 0
+		for _, emb := range a.est.embeddings(src, edge.Path.Steps) {
+			count := a.sampleAlong(src, edge.Path.Steps, emb)
+			term := emb.nodes[len(emb.nodes)-1]
+			for i := 0; i < count; i++ {
+				if a.t.Size() >= a.opts.MaxNodes {
+					a.truncated = true
+					break
+				}
+				c := a.t.NewNode(a.qnodes[ci].Var + ":" + a.s.Nodes[term].Label)
+				n.Children = append(n.Children, c)
+				if !a.fill(c, term, ci) {
+					// The sampled element fails a required sub-edge; drop it.
+					n.Children = n.Children[:len(n.Children)-1]
+					continue
+				}
+				placed++
+			}
+		}
+		if placed == 0 && !edge.Optional {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleAlong samples how many descendants one element at src has along
+// the embedding: a branching-process walk where each hop samples a child
+// count from the source node's histogram, and each step's predicates gate
+// the element by a Bernoulli draw of the branch selectivity.
+func (a *answerer) sampleAlong(src int, steps []query.Step, emb xemb) int {
+	cur := 1
+	prev := src
+	for hop, nid := range emb.nodes {
+		next := 0
+		for i := 0; i < cur; i++ {
+			next += a.sampleCount(prev, nid)
+			if next > a.opts.MaxNodes {
+				a.truncated = true
+				next = a.opts.MaxNodes
+				break
+			}
+		}
+		cur = next
+		if cur == 0 {
+			return 0
+		}
+		// Predicates anchored at a step landing on this hop gate each
+		// element independently (first step assignment).
+		for si := range steps {
+			if emb.stepAts[0][si] != hop {
+				continue
+			}
+			for _, pred := range steps[si].Preds {
+				sel := a.est.branchSel(nid, pred)
+				kept := 0
+				for i := 0; i < cur; i++ {
+					if a.rng.Float64() < sel {
+						kept++
+					}
+				}
+				cur = kept
+			}
+			if cur == 0 {
+				return 0
+			}
+		}
+		prev = nid
+	}
+	return cur
+}
+
+// sampleCount draws a child count along edge src -> child from the source
+// node's histogram: exact buckets by frequency, the rest bucket via
+// probabilistic rounding of its average.
+func (a *answerer) sampleCount(src, child int) int {
+	u := a.s.Nodes[src]
+	ei := u.EdgeTo(child)
+	if ei < 0 {
+		return 0
+	}
+	// Locate the histogram dimension: Edges and histogram dims share order
+	// only when every dim has a positive average, so recompute the dim
+	// index by counting positive-avg dims before ei. Histogram vectors are
+	// indexed over all dims; Edges skip zero-avg dims, which cannot occur
+	// for an existing edge. The dim order equals the sorted target order
+	// used by rebuildNode, which matches Edges order.
+	dim := ei
+	r := a.rng.Float64()
+	acc := 0.0
+	for _, b := range u.Hist.Buckets {
+		acc += b.Frac
+		if r < acc {
+			if dim < len(b.Vec) {
+				return b.Vec[dim]
+			}
+			return 0
+		}
+	}
+	if u.Hist.RestFrac > 0 && dim < len(u.Hist.RestVec) {
+		avg := u.Hist.RestVec[dim]
+		base := int(avg)
+		if a.rng.Float64() < avg-float64(base) {
+			base++
+		}
+		return base
+	}
+	return 0
+}

@@ -1,0 +1,133 @@
+package xsketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"treesketch/internal/query"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestSampleCountDrawsFromBuckets(t *testing.T) {
+	// a-elements with 1 or 3 b's (50/50): samples must be in {1,3} and
+	// average near 2.
+	tr := xmltree.MustCompact("r(a*10(b),a*10(b,b,b))")
+	st := stable.Build(tr)
+	s := labelSplit(st, 4)
+	a := &answerer{s: s}
+	a.rng = newTestRng(7)
+	var aID, bID int
+	for _, u := range s.Nodes {
+		switch u.Label {
+		case "a":
+			aID = u.ID
+		case "b":
+			bID = u.ID
+		}
+	}
+	sum := 0
+	for i := 0; i < 2000; i++ {
+		v := a.sampleCount(aID, bID)
+		if v != 1 && v != 3 {
+			t.Fatalf("sample %d outside {1,3}", v)
+		}
+		sum += v
+	}
+	avg := float64(sum) / 2000
+	if math.Abs(avg-2) > 0.15 {
+		t.Fatalf("avg = %g, want ~2", avg)
+	}
+	// Missing edge: zero.
+	if v := a.sampleCount(bID, aID); v != 0 {
+		t.Fatalf("sample along missing edge = %d", v)
+	}
+}
+
+func TestSampleCountRestBucket(t *testing.T) {
+	// Five distinct fanouts with one exact bucket: most mass lands in the
+	// rest bucket, whose samples round its average.
+	tr := xmltree.MustCompact("r(a(b),a(b,b),a(b*3),a(b*4),a(b*5))")
+	st := stable.Build(tr)
+	s := labelSplit(st, 1)
+	a := &answerer{s: s}
+	a.rng = newTestRng(3)
+	var aID, bID int
+	for _, u := range s.Nodes {
+		switch u.Label {
+		case "a":
+			aID = u.ID
+		case "b":
+			bID = u.ID
+		}
+	}
+	sum := 0
+	for i := 0; i < 4000; i++ {
+		sum += a.sampleCount(aID, bID)
+	}
+	// True mean fanout is 3.
+	if avg := float64(sum) / 4000; math.Abs(avg-3) > 0.25 {
+		t.Fatalf("avg = %g, want ~3", avg)
+	}
+}
+
+func TestSampleAlongMultiHop(t *testing.T) {
+	// r -> a (2 each) -> b (3 each): descendants of r along //b ~ 6.
+	tr := xmltree.MustCompact("r(a(b,b,b),a(b,b,b))")
+	st := stable.Build(tr)
+	s := labelSplit(st, 4)
+	q := query.MustParse("//b")
+	a := &answerer{
+		s:      s,
+		est:    &estimator{s: s, opts: EstOptions{MaxEmbeddings: 100, MaxHops: 8}},
+		opts:   AnswerOptions{MaxNodes: 100000}.withDefaults(),
+		qnodes: q.Vars(),
+	}
+	a.rng = newTestRng(5)
+	embs := a.est.embeddings(s.Root, q.Root.Edges[0].Path.Steps)
+	if len(embs) == 0 {
+		t.Fatal("no embeddings")
+	}
+	total := 0
+	for i := 0; i < 500; i++ {
+		for _, emb := range embs {
+			total += a.sampleAlong(s.Root, q.Root.Edges[0].Path.Steps, emb)
+		}
+	}
+	if avg := float64(total) / 500; math.Abs(avg-6) > 0.5 {
+		t.Fatalf("avg sampled descendants = %g, want ~6", avg)
+	}
+}
+
+func TestVectorLess(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{1, 2}, []int{1, 3}, true},
+		{[]int{1, 3}, []int{1, 2}, false},
+		{[]int{1, 2}, []int{1, 2}, false},
+		{[]int{1}, []int{1, 0}, true},
+		{[]int{1, 0}, []int{1}, false},
+	}
+	for _, c := range cases {
+		if got := less(c.a, c.b); got != c.want {
+			t.Errorf("less(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestXsketchPathKey(t *testing.T) {
+	a := pathKey([]int{1, 2, 300})
+	b := pathKey([]int{1, 2, 300})
+	c := pathKey([]int{1, 2, 301})
+	if a != b || a == c {
+		t.Fatal("pathKey not injective-ish")
+	}
+	if pathKey(nil) != "" {
+		t.Fatal("empty path key not empty")
+	}
+}

@@ -1,0 +1,397 @@
+package xsketch
+
+import (
+	"sort"
+	"time"
+
+	"treesketch/internal/query"
+	"treesketch/internal/stable"
+)
+
+// SampleQuery is one entry of the construction workload: a twig query and
+// its true selectivity (binding-tuple count) on the summarized document.
+type SampleQuery struct {
+	Q     *query.Query
+	Truth float64
+}
+
+// BuildOptions configures twig-XSketch construction.
+type BuildOptions struct {
+	// BudgetBytes is the space budget the refined synopsis may use.
+	BudgetBytes int
+	// Workload is the sample workload driving refinement, with true
+	// selectivities. Construction quality (and cost) scales with it.
+	Workload []SampleQuery
+	// MaxBuckets bounds the exact buckets per node histogram (default 4).
+	MaxBuckets int
+	// CandidatesPerRound bounds the node-split candidates evaluated per
+	// greedy round (default 6). Every evaluation runs the whole sample
+	// workload — the expensive step of workload-driven construction.
+	CandidatesPerRound int
+	// MaxRounds bounds refinement rounds (default 1000).
+	MaxRounds int
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.MaxBuckets <= 0 {
+		o.MaxBuckets = 4
+	}
+	if o.CandidatesPerRound <= 0 {
+		o.CandidatesPerRound = 6
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 1000
+	}
+	return o
+}
+
+// Stats reports construction telemetry.
+type Stats struct {
+	Rounds          int
+	SplitsApplied   int
+	WorkloadEvals   int // candidate evaluations, each running the workload
+	FinalBytes      int
+	FinalNodes      int
+	FinalError      float64 // avg relative error on the sample workload
+	Elapsed         time.Duration
+	BudgetExhausted bool
+}
+
+// Build constructs a twig-XSketch for the document summarized by st:
+// starting from the label-split graph it greedily applies the node split
+// that most reduces the sample-workload estimation error per byte of
+// growth, until the budget is exhausted or no split helps.
+func Build(st *stable.Synopsis, opts BuildOptions) (*Sketch, Stats) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	s := labelSplit(st, opts.MaxBuckets)
+	stats := Stats{}
+
+	sanity := sanityBound(opts.Workload)
+	currentErr := s.workloadError(opts.Workload, sanity)
+	stats.WorkloadEvals++
+
+	parentsOf := stableParents(st)
+
+	for stats.Rounds < opts.MaxRounds {
+		stats.Rounds++
+		if s.SizeBytes() >= opts.BudgetBytes {
+			stats.BudgetExhausted = true
+			break
+		}
+		cands := s.candidateSplits(opts.CandidatesPerRound)
+		if len(cands) == 0 {
+			break
+		}
+		bestGain := 0.0
+		var best *Sketch
+		var bestErr float64
+		for _, c := range cands {
+			trial := s.clone()
+			grew := trial.applySplit(c, parentsOf, opts.MaxBuckets)
+			if !grew || trial.SizeBytes() > opts.BudgetBytes {
+				continue
+			}
+			err := trial.workloadError(opts.Workload, sanity)
+			stats.WorkloadEvals++
+			addedBytes := trial.SizeBytes() - s.SizeBytes()
+			if addedBytes <= 0 {
+				addedBytes = 1
+			}
+			gain := (currentErr - err) / float64(addedBytes)
+			if best == nil || gain > bestGain {
+				bestGain = gain
+				best = trial
+				bestErr = err
+			}
+		}
+		if best == nil {
+			break
+		}
+		s = best
+		currentErr = bestErr
+		stats.SplitsApplied++
+	}
+
+	stats.FinalBytes = s.SizeBytes()
+	stats.FinalNodes = s.NumNodes()
+	stats.FinalError = currentErr
+	stats.Elapsed = time.Since(start)
+	return s, stats
+}
+
+// labelSplit builds the coarsest synopsis: one node per label.
+func labelSplit(st *stable.Synopsis, maxBuckets int) *Sketch {
+	s := &Sketch{st: st, clusterOf: make([]int, len(st.Nodes))}
+	byLabel := make(map[string]*Node)
+	for _, sn := range st.Nodes {
+		u, ok := byLabel[sn.Label]
+		if !ok {
+			u = &Node{ID: len(s.Nodes), Label: sn.Label}
+			s.Nodes = append(s.Nodes, u)
+			byLabel[sn.Label] = u
+		}
+		u.Members = append(u.Members, sn.ID)
+		s.clusterOf[sn.ID] = u.ID
+	}
+	for _, u := range s.Nodes {
+		s.rebuildNode(u, maxBuckets)
+	}
+	if st.Root >= 0 {
+		s.Root = s.clusterOf[st.Root]
+	}
+	return s
+}
+
+func stableParents(st *stable.Synopsis) [][]int {
+	return st.Parents()
+}
+
+// sanityBound is the 10-percentile of true workload counts (Section 6.1).
+func sanityBound(w []SampleQuery) float64 {
+	if len(w) == 0 {
+		return 1
+	}
+	truths := make([]float64, len(w))
+	for i, sq := range w {
+		truths[i] = sq.Truth
+	}
+	sort.Float64s(truths)
+	s := truths[len(truths)/10]
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (s *Sketch) workloadError(w []SampleQuery, sanity float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	// Construction-time estimates use a reduced embedding budget: they
+	// only steer the greedy search, so precision matters less than the
+	// sheer number of evaluations.
+	var sum float64
+	for _, sq := range w {
+		est := s.Estimate(sq.Q, EstOptions{MaxEmbeddings: 400, MaxHops: 10})
+		denom := sq.Truth
+		if denom < sanity {
+			denom = sanity
+		}
+		d := sq.Truth - est
+		if d < 0 {
+			d = -d
+		}
+		sum += d / denom
+	}
+	return sum / float64(len(w))
+}
+
+// splitCand describes a candidate node split: partition member classes of
+// node ID into two groups.
+type splitCand struct {
+	node   int
+	groupA []int // member stable IDs moved to the new node
+}
+
+// candidateSplits proposes up to limit splits on the most heterogeneous
+// high-count nodes: by dominant child-count vector and by parent set.
+func (s *Sketch) candidateSplits(limit int) []splitCand {
+	type scored struct {
+		node  int
+		score float64
+	}
+	var nodes []scored
+	for _, u := range s.Nodes {
+		if u == nil || len(u.Members) < 2 {
+			continue
+		}
+		hetero := float64(len(u.Hist.Buckets))
+		if u.Hist.RestFrac > 0 {
+			hetero += 2
+		}
+		if hetero < 2 {
+			continue
+		}
+		nodes = append(nodes, scored{u.ID, float64(u.Count) * hetero})
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].score > nodes[j].score })
+	var out []splitCand
+	for _, sc := range nodes {
+		if len(out) >= limit {
+			break
+		}
+		u := s.Nodes[sc.node]
+		if c, ok := s.splitByVector(u); ok {
+			out = append(out, c)
+		}
+		if len(out) >= limit {
+			break
+		}
+		if c, ok := s.splitByParents(u); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// splitByVector separates the members exhibiting the node's most frequent
+// child-count vector from the rest.
+func (s *Sketch) splitByVector(u *Node) (splitCand, bool) {
+	keyOf := func(sid int) string {
+		sn := s.st.Nodes[sid]
+		counts := make(map[int]int)
+		for _, e := range sn.Edges {
+			counts[s.clusterOf[e.Child]] += e.K
+		}
+		targets := make([]int, 0, len(counts))
+		for t := range counts {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		key := ""
+		for _, t := range targets {
+			key += itoa(t) + ":" + itoa(counts[t]) + ";"
+		}
+		return key
+	}
+	weight := make(map[string]int)
+	for _, sid := range u.Members {
+		weight[keyOf(sid)] += s.st.Nodes[sid].Count
+	}
+	if len(weight) < 2 {
+		return splitCand{}, false
+	}
+	bestKey, bestW := "", -1
+	for k, w := range weight {
+		if w > bestW || (w == bestW && k < bestKey) {
+			bestKey, bestW = k, w
+		}
+	}
+	var groupA []int
+	for _, sid := range u.Members {
+		if keyOf(sid) == bestKey {
+			groupA = append(groupA, sid)
+		}
+	}
+	if len(groupA) == 0 || len(groupA) == len(u.Members) {
+		return splitCand{}, false
+	}
+	return splitCand{node: u.ID, groupA: groupA}, true
+}
+
+// splitByParents separates members by their set of parent clusters
+// (B-stability-style refinement).
+func (s *Sketch) splitByParents(u *Node) (splitCand, bool) {
+	parents := s.st.Parents()
+	keyOf := func(sid int) string {
+		set := make(map[int]bool)
+		for _, p := range parents[sid] {
+			set[s.clusterOf[p]] = true
+		}
+		ids := make([]int, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		key := ""
+		for _, id := range ids {
+			key += itoa(id) + ";"
+		}
+		return key
+	}
+	weight := make(map[string]int)
+	for _, sid := range u.Members {
+		weight[keyOf(sid)] += s.st.Nodes[sid].Count
+	}
+	if len(weight) < 2 {
+		return splitCand{}, false
+	}
+	bestKey, bestW := "", -1
+	for k, w := range weight {
+		if w > bestW || (w == bestW && k < bestKey) {
+			bestKey, bestW = k, w
+		}
+	}
+	var groupA []int
+	for _, sid := range u.Members {
+		if keyOf(sid) == bestKey {
+			groupA = append(groupA, sid)
+		}
+	}
+	if len(groupA) == 0 || len(groupA) == len(u.Members) {
+		return splitCand{}, false
+	}
+	return splitCand{node: u.ID, groupA: groupA}, true
+}
+
+// clone deep-copies the synopsis (shared immutable stable summary).
+func (s *Sketch) clone() *Sketch {
+	out := &Sketch{
+		st:        s.st,
+		Root:      s.Root,
+		clusterOf: append([]int(nil), s.clusterOf...),
+		Nodes:     make([]*Node, len(s.Nodes)),
+	}
+	for i, u := range s.Nodes {
+		if u == nil {
+			continue
+		}
+		v := &Node{
+			ID:      u.ID,
+			Label:   u.Label,
+			Count:   u.Count,
+			Edges:   append([]Edge(nil), u.Edges...),
+			Members: append([]int(nil), u.Members...),
+		}
+		v.Hist.Buckets = make([]Bucket, len(u.Hist.Buckets))
+		for j, b := range u.Hist.Buckets {
+			v.Hist.Buckets[j] = Bucket{Vec: append([]int(nil), b.Vec...), Frac: b.Frac}
+		}
+		v.Hist.RestVec = append([]float64(nil), u.Hist.RestVec...)
+		v.Hist.RestFrac = u.Hist.RestFrac
+		out.Nodes[i] = v
+	}
+	return out
+}
+
+// applySplit performs the split and rebuilds affected nodes. Returns false
+// when the split is degenerate.
+func (s *Sketch) applySplit(c splitCand, parentsOf [][]int, maxBuckets int) bool {
+	u := s.Nodes[c.node]
+	inA := make(map[int]bool, len(c.groupA))
+	for _, sid := range c.groupA {
+		inA[sid] = true
+	}
+	var groupB []int
+	for _, sid := range u.Members {
+		if !inA[sid] {
+			groupB = append(groupB, sid)
+		}
+	}
+	if len(groupB) == 0 || len(c.groupA) == 0 {
+		return false
+	}
+	w := &Node{ID: len(s.Nodes), Label: u.Label, Members: append([]int(nil), c.groupA...)}
+	s.Nodes = append(s.Nodes, w)
+	u.Members = groupB
+	for _, sid := range c.groupA {
+		s.clusterOf[sid] = w.ID
+	}
+	if s.st.Root >= 0 {
+		s.Root = s.clusterOf[s.st.Root]
+	}
+
+	// Rebuild the two halves plus every cluster containing a parent of a
+	// moved member (their edge dimensions changed).
+	dirty := map[int]bool{u.ID: true, w.ID: true}
+	for _, sid := range c.groupA {
+		for _, p := range parentsOf[sid] {
+			dirty[s.clusterOf[p]] = true
+		}
+	}
+	for id := range dirty {
+		s.rebuildNode(s.Nodes[id], maxBuckets)
+	}
+	return true
+}

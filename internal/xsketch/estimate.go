@@ -1,0 +1,371 @@
+package xsketch
+
+import (
+	"treesketch/internal/query"
+)
+
+// EstOptions configures selectivity estimation.
+type EstOptions struct {
+	// MaxEmbeddings caps path-embedding enumeration (default 2000).
+	MaxEmbeddings int
+	// MaxHops bounds the length of a descendant-step path, which keeps
+	// enumeration finite on cyclic label-split graphs (default 12).
+	MaxHops int
+}
+
+func (o EstOptions) withDefaults() EstOptions {
+	if o.MaxEmbeddings <= 0 {
+		o.MaxEmbeddings = 2000
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = 12
+	}
+	return o
+}
+
+// rnode is one node of the intermediate result synopsis: the elements of a
+// source partition bound to one query variable.
+type rnode struct {
+	src   int
+	varID int
+	edges map[int]float64 // result node ID -> estimated descendant count k
+}
+
+// Estimate computes the estimated number of binding tuples for the twig
+// query: expected child counts multiply along path embeddings, and
+// branching predicates contribute P(count >= 1) factors combined by
+// inclusion-exclusion, mirroring the estimation framework of the original
+// twig-XSketch work.
+func (s *Sketch) Estimate(q *query.Query, opts EstOptions) float64 {
+	e := &estimator{s: s, opts: opts.withDefaults()}
+	qnodes := q.Vars()
+	qidx := make(map[*query.Node]int, len(qnodes))
+	for i, qn := range qnodes {
+		qidx[qn] = i
+	}
+
+	var nodes []*rnode
+	index := make(map[[2]int]int)
+	bind := make([][]int, len(qnodes))
+	addNode := func(src, varID int) int {
+		key := [2]int{src, varID}
+		if id, ok := index[key]; ok {
+			return id
+		}
+		id := len(nodes)
+		nodes = append(nodes, &rnode{src: src, varID: varID, edges: make(map[int]float64)})
+		index[key] = id
+		bind[varID] = append(bind[varID], id)
+		return id
+	}
+	addNode(s.Root, 0)
+
+	for qi, qn := range qnodes {
+		for _, uQ := range bind[qi] {
+			rn := nodes[uQ]
+			for _, edge := range qn.Edges {
+				perTerm := make(map[int]float64)
+				for _, emb := range e.embeddings(rn.src, edge.Path.Steps) {
+					k := e.evalEmbed(edge.Path.Steps, rn.src, emb)
+					if k > 0 {
+						perTerm[emb.nodes[len(emb.nodes)-1]] += k
+					}
+				}
+				ci := qidx[edge.Child]
+				for v, k := range perTerm {
+					vQ := addNode(v, ci)
+					rn.edges[vQ] += k
+				}
+			}
+		}
+	}
+
+	// A required variable with no bindings empties the answer.
+	for _, qn := range qnodes {
+		for _, edge := range qn.Edges {
+			if !edge.Optional && len(bind[qidx[edge.Child]]) == 0 {
+				return 0
+			}
+		}
+	}
+
+	// Bottom-up tuples-per-element, grouping edges by child variable. A
+	// node whose required child variable found no descendants contributes
+	// zero tuples; an optional variable's factor is at least 1 (elements
+	// without matches contribute a NULL binding).
+	requiredChildren := make([][]int, len(qnodes))
+	optionalVar := make([]bool, len(qnodes))
+	for qi, qn := range qnodes {
+		for _, edge := range qn.Edges {
+			if !edge.Optional {
+				requiredChildren[qi] = append(requiredChildren[qi], qidx[edge.Child])
+			} else {
+				optionalVar[qidx[edge.Child]] = true
+			}
+		}
+	}
+	memo := make([]float64, len(nodes))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var tuples func(id int) float64
+	tuples = func(id int) float64 {
+		if memo[id] >= 0 {
+			return memo[id]
+		}
+		memo[id] = 0
+		rn := nodes[id]
+		perVar := make(map[int]float64)
+		for child, k := range rn.edges {
+			perVar[nodes[child].varID] += k * tuples(child)
+		}
+		total := 1.0
+		for _, cv := range requiredChildren[rn.varID] {
+			if perVar[cv] == 0 {
+				memo[id] = 0
+				return 0
+			}
+		}
+		for cv, sum := range perVar {
+			if optionalVar[cv] && sum < 1 {
+				sum = 1
+			}
+			total *= sum
+		}
+		memo[id] = total
+		return total
+	}
+	return tuples(index[[2]int{s.Root, 0}])
+}
+
+// estimator carries embedding enumeration state.
+type estimator struct {
+	s          *Sketch
+	opts       EstOptions
+	reachCache map[string][]bool
+}
+
+// reaches reports whether a node labeled label is reachable from id
+// (including id itself); cached per label.
+func (e *estimator) reaches(id int, label string) bool {
+	reach, ok := e.reachCache[label]
+	if !ok {
+		reach = make([]bool, len(e.s.Nodes))
+		for _, u := range e.s.Nodes {
+			if u != nil && u.Label == label {
+				reach[u.ID] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, u := range e.s.Nodes {
+				if u == nil || reach[u.ID] {
+					continue
+				}
+				for _, ed := range u.Edges {
+					if reach[ed.Child] {
+						reach[u.ID] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if e.reachCache == nil {
+			e.reachCache = make(map[string][]bool)
+		}
+		e.reachCache[label] = reach
+	}
+	return reach[id]
+}
+
+type xemb struct {
+	nodes   []int
+	stepAts [][]int
+}
+
+// embeddings enumerates mappings of the steps into the (possibly cyclic)
+// synopsis graph: Child steps follow one matching edge; Descendant steps
+// follow any path of at most MaxHops edges ending at a matching label.
+// Mappings sharing a node path merge into one embedding with several step
+// assignments (set semantics; see internal/eval for the rationale).
+func (e *estimator) embeddings(from int, steps []query.Step) []xemb {
+	var out []xemb
+	byPath := make(map[string]int)
+	budget := e.opts.MaxEmbeddings
+	work := 64 * e.opts.MaxEmbeddings
+	var nodes []int
+	var stepAt []int
+
+	var rec func(cur, si int)
+	var desc func(cur, si, hops int)
+	emit := func() {
+		key := pathKey(nodes)
+		if i, ok := byPath[key]; ok {
+			out[i].stepAts = append(out[i].stepAts, append([]int(nil), stepAt...))
+			return
+		}
+		byPath[key] = len(out)
+		out = append(out, xemb{
+			nodes:   append([]int(nil), nodes...),
+			stepAts: [][]int{append([]int(nil), stepAt...)},
+		})
+	}
+	rec = func(cur, si int) {
+		if budget <= 0 || work <= 0 {
+			return
+		}
+		if si == len(steps) {
+			budget--
+			emit()
+			return
+		}
+		step := &steps[si]
+		if step.Axis == query.Child {
+			for _, ed := range e.s.Nodes[cur].Edges {
+				if e.s.Nodes[ed.Child].Label != step.Label {
+					continue
+				}
+				work--
+				nodes = append(nodes, ed.Child)
+				stepAt = append(stepAt, len(nodes)-1)
+				rec(ed.Child, si+1)
+				nodes = nodes[:len(nodes)-1]
+				stepAt = stepAt[:len(stepAt)-1]
+			}
+			return
+		}
+		desc(cur, si, 0)
+	}
+	desc = func(cur, si, hops int) {
+		if budget <= 0 || hops >= e.opts.MaxHops {
+			return
+		}
+		step := &steps[si]
+		for _, ed := range e.s.Nodes[cur].Edges {
+			if work <= 0 {
+				return
+			}
+			if !e.reaches(ed.Child, step.Label) {
+				continue
+			}
+			work--
+			nodes = append(nodes, ed.Child)
+			if e.s.Nodes[ed.Child].Label == step.Label {
+				stepAt = append(stepAt, len(nodes)-1)
+				rec(ed.Child, si+1)
+				stepAt = stepAt[:len(stepAt)-1]
+			}
+			desc(ed.Child, si, hops+1)
+			nodes = nodes[:len(nodes)-1]
+		}
+	}
+	rec(from, 0)
+	return out
+}
+
+// evalEmbed multiplies expected edge counts along the embedding and scales
+// by branch-predicate selectivities; the best step assignment wins.
+func (e *estimator) evalEmbed(steps []query.Step, from int, emb xemb) float64 {
+	nt := 1.0
+	prev := from
+	for _, nid := range emb.nodes {
+		i := e.s.Nodes[prev].EdgeTo(nid)
+		if i < 0 {
+			return 0
+		}
+		nt *= e.s.Nodes[prev].Edges[i].Avg
+		prev = nid
+	}
+	havePreds := false
+	for si := range steps {
+		if len(steps[si].Preds) > 0 {
+			havePreds = true
+			break
+		}
+	}
+	if !havePreds {
+		return nt
+	}
+	best := 0.0
+	for _, stepAt := range emb.stepAts {
+		sel := 1.0
+		for si := range steps {
+			at := emb.nodes[stepAt[si]]
+			for _, pred := range steps[si].Preds {
+				sel *= e.branchSel(at, pred)
+				if sel == 0 {
+					break
+				}
+			}
+			if sel == 0 {
+				break
+			}
+		}
+		if sel > best {
+			best = sel
+		}
+	}
+	return nt * best
+}
+
+// pathKey renders a node-ID sequence as a map key.
+func pathKey(nodes []int) string {
+	buf := make([]byte, 0, len(nodes)*3)
+	for _, n := range nodes {
+		for n >= 0x80 {
+			buf = append(buf, byte(n)|0x80)
+			n >>= 7
+		}
+		buf = append(buf, byte(n))
+	}
+	return string(buf)
+}
+
+// branchSel estimates the fraction of elements of the source partition
+// with at least one descendant along pred: per embedding the probability
+// is the product of per-edge P(count >= 1); embeddings combine by
+// inclusion-exclusion under independence.
+func (e *estimator) branchSel(from int, pred *query.Path) float64 {
+	embs := e.embeddings(from, pred.Steps)
+	if len(embs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, emb := range embs {
+		p := 1.0
+		prev := from
+		for _, nid := range emb.nodes {
+			i := e.s.Nodes[prev].EdgeTo(nid)
+			if i < 0 {
+				p = 0
+				break
+			}
+			p *= e.s.Nodes[prev].Edges[i].PGe1
+			prev = nid
+		}
+		// Nested predicates scale the per-embedding probability; the best
+		// step assignment wins.
+		if p > 0 {
+			bestSub := 0.0
+			for _, stepAt := range emb.stepAts {
+				sub := 1.0
+				for si := range pred.Steps {
+					at := emb.nodes[stepAt[si]]
+					for _, nested := range pred.Steps[si].Preds {
+						sub *= e.branchSel(at, nested)
+					}
+				}
+				if sub > bestSub {
+					bestSub = sub
+				}
+			}
+			p *= bestSub
+		}
+		if p > 1 {
+			p = 1
+		}
+		prod *= 1 - p
+	}
+	return 1 - prod
+}

@@ -1,0 +1,75 @@
+package xsketch
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"treesketch/internal/query"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+func TestReachesOnCyclicGraph(t *testing.T) {
+	_, s := labelSplitOf("r(list(item(list(item)),item),other)")
+	e := &estimator{s: s}
+	ids := map[string]int{}
+	for _, u := range s.Nodes {
+		ids[u.Label] = u.ID
+	}
+	if !e.reaches(ids["r"], "item") {
+		t.Fatal("r should reach item")
+	}
+	if !e.reaches(ids["item"], "list") {
+		t.Fatal("item should reach list (recursion)")
+	}
+	if e.reaches(ids["other"], "item") {
+		t.Fatal("other should not reach item")
+	}
+}
+
+func TestEstimateDenseGraphFastEvenWithDeepHops(t *testing.T) {
+	// A wide document whose label-split graph has many fruitless branches:
+	// without reachability pruning and the work budget this explodes.
+	src := "r("
+	for i := 0; i < 20; i++ {
+		if i > 0 {
+			src += ","
+		}
+		src += "s" + string(rune('a'+i)) + "(m(n(o(p(q)))))"
+	}
+	src += ")"
+	tr := xmltree.MustCompact(src)
+	s := labelSplit(stable.Build(tr), 4)
+	start := time.Now()
+	got := s.Estimate(query.MustParse("//q"), EstOptions{MaxHops: 16, MaxEmbeddings: 100})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("estimate took %v", elapsed)
+	}
+	if got <= 0 {
+		t.Fatalf("estimate = %g", got)
+	}
+}
+
+func TestEstimateDescendantDedupOnRecursion(t *testing.T) {
+	// //list//item on nested lists: each item counted once despite two
+	// step assignments on nested paths. The label-split graph of this
+	// document is exact per class, so the estimate should match truth.
+	doc := "r(list(item(list(item))))"
+	tr := xmltree.MustCompact(doc)
+	// truth: items with a list ancestor: both items -> //list//item
+	// bindings: outer list contributes both items, deduped = 2.
+	s := labelSplit(stable.Build(tr), 8)
+	got := s.Estimate(query.MustParse("//list//item"), EstOptions{})
+	if math.Abs(got-2) > 0.5 {
+		t.Fatalf("estimate = %g, want ~2", got)
+	}
+}
+
+func TestEstimateOptionalVarClamp(t *testing.T) {
+	_, s := labelSplitOf("r(a(b),a(c))")
+	got := s.Estimate(query.MustParse("//a{/b?}"), EstOptions{})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("estimate = %g, want 2", got)
+	}
+}

@@ -1,0 +1,276 @@
+package xsketch
+
+import (
+	"math"
+	"testing"
+
+	"treesketch/internal/esd"
+	"treesketch/internal/eval"
+	"treesketch/internal/query"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+func labelSplitOf(doc string) (*xmltree.Tree, *Sketch) {
+	tr := xmltree.MustCompact(doc)
+	st := stable.Build(tr)
+	return tr, labelSplit(st, 4)
+}
+
+func TestLabelSplitStructure(t *testing.T) {
+	tr, s := labelSplitOf("r(a(b),a(b,b),c(b))")
+	if s.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4 (one per label)", s.NumNodes())
+	}
+	byLabel := map[string]*Node{}
+	total := 0
+	for _, u := range s.Nodes {
+		byLabel[u.Label] = u
+		total += u.Count
+	}
+	if total != tr.Size() {
+		t.Fatalf("total count %d, want %d", total, tr.Size())
+	}
+	if byLabel["a"].Count != 2 || byLabel["b"].Count != 4 {
+		t.Fatalf("counts a=%d b=%d", byLabel["a"].Count, byLabel["b"].Count)
+	}
+	if s.Nodes[s.Root].Label != "r" {
+		t.Fatalf("root label %q", s.Nodes[s.Root].Label)
+	}
+}
+
+func TestHistogramBucketsAndDerivedStats(t *testing.T) {
+	_, s := labelSplitOf("r(a(b),a(b,b))")
+	var a *Node
+	for _, u := range s.Nodes {
+		if u.Label == "a" {
+			a = u
+		}
+	}
+	if len(a.Hist.Buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(a.Hist.Buckets))
+	}
+	var fracSum float64
+	for _, b := range a.Hist.Buckets {
+		fracSum += b.Frac
+	}
+	if math.Abs(fracSum-1) > 1e-12 {
+		t.Fatalf("bucket fracs sum to %g", fracSum)
+	}
+	if len(a.Edges) != 1 {
+		t.Fatalf("edges = %d", len(a.Edges))
+	}
+	if math.Abs(a.Edges[0].Avg-1.5) > 1e-12 {
+		t.Fatalf("avg = %g, want 1.5", a.Edges[0].Avg)
+	}
+	if math.Abs(a.Edges[0].PGe1-1) > 1e-12 {
+		t.Fatalf("PGe1 = %g, want 1", a.Edges[0].PGe1)
+	}
+}
+
+func TestHistogramEndBiased(t *testing.T) {
+	// 5 distinct vectors with maxBuckets 2: top-2 exact, rest collapsed.
+	tr := xmltree.MustCompact("r(a*4(b),a*3(b,b),a(b*3),a(b*4),a(b*5))")
+	st := stable.Build(tr)
+	s := labelSplit(st, 2)
+	var a *Node
+	for _, u := range s.Nodes {
+		if u.Label == "a" {
+			a = u
+		}
+	}
+	if len(a.Hist.Buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(a.Hist.Buckets))
+	}
+	if a.Hist.Buckets[0].Vec[0] != 1 || a.Hist.Buckets[1].Vec[0] != 2 {
+		t.Fatalf("top buckets = %v, %v", a.Hist.Buckets[0], a.Hist.Buckets[1])
+	}
+	if a.Hist.RestFrac <= 0 {
+		t.Fatal("rest bucket missing")
+	}
+	// Rest average: (3+4+5)/3 = 4.
+	if math.Abs(a.Hist.RestVec[0]-4) > 1e-12 {
+		t.Fatalf("rest avg = %g, want 4", a.Hist.RestVec[0])
+	}
+	// Overall mean: (4*1 + 3*2 + 3+4+5)/10 = 2.2.
+	if math.Abs(a.Edges[0].Avg-2.2) > 1e-12 {
+		t.Fatalf("avg = %g, want 2.2", a.Edges[0].Avg)
+	}
+}
+
+func TestEstimateSimpleCases(t *testing.T) {
+	cases := []struct {
+		doc, q string
+		want   float64
+	}{
+		{"r(a,a,a)", "//a", 3},
+		{"r(a(b),a(b,b))", "//a{/b}", 3},
+		{"r(a(b),a(c))", "//a[/b]", 1},
+		{"r(a(b),a(c))", "//a{/b?}", 2},
+		{"r(a,b)", "//z", 0},
+		{"r(a(b))", "//a{/z}", 0},
+	}
+	for _, c := range cases {
+		_, s := labelSplitOf(c.doc)
+		if got := s.Estimate(query.MustParse(c.q), EstOptions{}); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s on %s: estimate %g, want %g", c.q, c.doc, got, c.want)
+		}
+	}
+}
+
+func TestEstimateCyclicGraphTerminates(t *testing.T) {
+	// Recursive labels make the label-split graph cyclic; estimation must
+	// terminate via the hop bound.
+	_, s := labelSplitOf("r(list(item(list(item)),item))")
+	got := s.Estimate(query.MustParse("//item"), EstOptions{MaxHops: 8})
+	if got <= 0 || math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("estimate = %g", got)
+	}
+}
+
+func buildWorkload(tr *xmltree.Tree, st *stable.Synopsis, n int) []SampleQuery {
+	ix := eval.NewIndex(tr)
+	qs := query.Generate(st, n, query.GenOptions{Seed: 11})
+	out := make([]SampleQuery, 0, len(qs))
+	for _, q := range qs {
+		ex := eval.Exact(ix, q)
+		out = append(out, SampleQuery{Q: q, Truth: ex.Tuples})
+	}
+	return out
+}
+
+func TestBuildRefinesWithinBudget(t *testing.T) {
+	tr := xmltree.MustCompact("r(a*5(b),a*3(b,b,b),a*2(b*7),c*4(d(e)),c*2(d))")
+	st := stable.Build(tr)
+	w := buildWorkload(tr, st, 20)
+	base := labelSplit(st, 4)
+	budget := base.SizeBytes() + 200
+	s, stats := Build(st, BuildOptions{BudgetBytes: budget, Workload: w})
+	if s.SizeBytes() > budget {
+		t.Fatalf("size %d exceeds budget %d", s.SizeBytes(), budget)
+	}
+	if stats.WorkloadEvals == 0 || stats.Elapsed <= 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+	baseErr := base.workloadError(w, sanityBound(w))
+	if stats.FinalError > baseErr+1e-9 {
+		t.Fatalf("refinement worsened error: %g -> %g", baseErr, stats.FinalError)
+	}
+}
+
+func TestBuildStopsWhenNoSplitsRemain(t *testing.T) {
+	// A perfectly homogeneous document: label-split is already stable, no
+	// split candidates exist.
+	tr := xmltree.MustCompact("r(a*4(b,b))")
+	st := stable.Build(tr)
+	s, stats := Build(st, BuildOptions{BudgetBytes: 1 << 20, Workload: buildWorkload(tr, st, 5)})
+	if stats.SplitsApplied != 0 {
+		t.Fatalf("SplitsApplied = %d, want 0", stats.SplitsApplied)
+	}
+	if s.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", s.NumNodes())
+	}
+}
+
+func TestSplitImprovesPredicateEstimate(t *testing.T) {
+	// Document where a-elements differ in having b children, correlated
+	// with parent: x(a(b)) vs y(a(c)). Splitting the a node by parents
+	// makes //x/a[/b] exact.
+	tr := xmltree.MustCompact("r(x*4(a(b)),y*4(a(c)))")
+	st := stable.Build(tr)
+	q := query.MustParse("/x/a[/b]")
+	ix := eval.NewIndex(tr)
+	truth := eval.Exact(ix, q).Tuples
+	w := []SampleQuery{{Q: q, Truth: truth}}
+
+	base := labelSplit(st, 4)
+	baseEst := base.Estimate(q, EstOptions{})
+	s, _ := Build(st, BuildOptions{BudgetBytes: base.SizeBytes() + 400, Workload: w})
+	refEst := s.Estimate(q, EstOptions{})
+	if math.Abs(refEst-truth) > math.Abs(baseEst-truth)+1e-9 {
+		t.Fatalf("refinement did not help: base %g, refined %g, truth %g", baseEst, refEst, truth)
+	}
+}
+
+func TestApproxAnswerDeterministicAndSane(t *testing.T) {
+	tr := xmltree.MustCompact("r(a*3(b,b),a*2(b))")
+	st := stable.Build(tr)
+	s := labelSplit(st, 4)
+	q := query.MustParse("//a{/b}")
+	a1 := s.ApproxAnswer(q, AnswerOptions{Seed: 5})
+	a2 := s.ApproxAnswer(q, AnswerOptions{Seed: 5})
+	if a1.Empty || a2.Empty {
+		t.Fatal("answer empty")
+	}
+	if a1.Tree.Compact() != a2.Tree.Compact() {
+		t.Fatal("same seed produced different answers")
+	}
+	if a1.Tree.Root.Label != "q0:r" {
+		t.Fatalf("root label %q", a1.Tree.Root.Label)
+	}
+	// Sampled answer sizes should be in the right ballpark: truth has
+	// 1 root + 5 a's + 8 b's = 14 nodes.
+	size := a1.Tree.Size()
+	if size < 4 || size > 40 {
+		t.Fatalf("answer size %d wildly off (truth 14)", size)
+	}
+}
+
+func TestApproxAnswerEmptyOnNegativeQuery(t *testing.T) {
+	_, s := labelSplitOf("r(a(b))")
+	a := s.ApproxAnswer(query.MustParse("//z"), AnswerOptions{Seed: 1})
+	if !a.Empty {
+		t.Fatal("negative query produced non-empty answer")
+	}
+	if a.ESDGraph() != nil {
+		t.Fatal("empty answer has non-nil ESD graph")
+	}
+}
+
+func TestApproxAnswerComparableToExactViaESD(t *testing.T) {
+	// On a perfectly regular document the sampled answer is structurally
+	// exact, so its ESD to the truth must be zero.
+	doc := "r(a*4(b,b))"
+	tr := xmltree.MustCompact(doc)
+	st := stable.Build(tr)
+	s := labelSplit(st, 4)
+	q := query.MustParse("//a{/b}")
+	truthG := eval.Exact(eval.NewIndex(tr), q).ESDGraph()
+	ansG := s.ApproxAnswer(q, AnswerOptions{Seed: 3}).ESDGraph()
+	if d := esd.Distance(truthG, ansG); d > 1e-9 {
+		t.Fatalf("ESD = %g, want 0 on regular document", d)
+	}
+}
+
+func TestApproxAnswerRespectsNodeCap(t *testing.T) {
+	tr := xmltree.MustCompact("r(a*10(b*10(c*5)))")
+	st := stable.Build(tr)
+	s := labelSplit(st, 4)
+	a := s.ApproxAnswer(query.MustParse("//a{/b{/c}}"), AnswerOptions{Seed: 1, MaxNodes: 30})
+	if !a.Truncated {
+		t.Fatal("expected truncation")
+	}
+	if a.Tree != nil && a.Tree.Size() > 40 {
+		t.Fatalf("size %d far above cap", a.Tree.Size())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	_, s := labelSplitOf("r(a(b),a(b,b))")
+	c := s.clone()
+	c.Nodes[0].Count = 999
+	c.clusterOf[0] = 77
+	if s.Nodes[0].Count == 999 || s.clusterOf[0] == 77 {
+		t.Fatal("clone shares mutable state")
+	}
+}
+
+func TestSizeBytesCountsHistograms(t *testing.T) {
+	_, s := labelSplitOf("r(a(b),a(b,b))")
+	base := s.NumNodes()*NodeBytes + 2*EdgeBytes // r->a, a->b
+	// a has 2 buckets of 1 dim; r has 1 bucket of 1 dim; b has none.
+	hist := 3*(BucketBytes+DimBytes) + 0
+	if got := s.SizeBytes(); got != base+hist {
+		t.Fatalf("SizeBytes = %d, want %d", got, base+hist)
+	}
+}

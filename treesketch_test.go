@@ -1,0 +1,130 @@
+package treesketch
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const bibDoc = `<bib>
+  <author><name/><paper><title/><year/><keyword/><keyword/></paper><book><title/></book></author>
+  <author><name/><paper><title/><year/><keyword/></paper></author>
+  <author><name/><book><title/></book></author>
+</bib>`
+
+func TestEndToEndPipeline(t *testing.T) {
+	doc, err := ParseXMLString(bibDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, stats := Build(doc, BuildOptions{BudgetBytes: 1 << 20})
+	if stats.FinalNodes == 0 {
+		t.Fatal("empty synopsis")
+	}
+	q, err := ParseQuery("//author[//book]{//paper{//keyword?},//name?}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(doc)
+	exact := EvaluateExact(ix, q)
+	approx := EvaluateApprox(syn, q, EvalOptions{})
+	if exact.Empty || approx.Empty {
+		t.Fatalf("unexpected empty result: exact=%v approx=%v", exact.Empty, approx.Empty)
+	}
+	// With an uncompressed synopsis the answer is exact.
+	if math.Abs(approx.Selectivity()-exact.Tuples) > 1e-9 {
+		t.Fatalf("selectivity %g, exact %g", approx.Selectivity(), exact.Tuples)
+	}
+	if d := AnswerDistance(exact, approx); d > 1e-9 {
+		t.Fatalf("AnswerDistance = %g, want 0", d)
+	}
+}
+
+func TestCompressedSynopsisApproximates(t *testing.T) {
+	doc, err := GenerateDataset("imdb", 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := BuildStable(doc)
+	syn, stats := BuildFromStable(st, BuildOptions{BudgetBytes: 4 << 10})
+	if !stats.BudgetReached && stats.Merges == 0 {
+		t.Fatal("no compression happened")
+	}
+	if syn.SizeBytes() >= st.SizeBytes() {
+		t.Fatalf("synopsis %dB not smaller than stable %dB", syn.SizeBytes(), st.SizeBytes())
+	}
+	ix := NewIndex(doc)
+	qs := GenerateWorkload(st, 10, WorkloadOptions{Seed: 2})
+	if len(qs) == 0 {
+		t.Fatal("no workload queries")
+	}
+	sane := 0
+	for _, q := range qs {
+		exact := EvaluateExact(ix, q)
+		if exact.Empty {
+			continue
+		}
+		est := EstimateSelectivity(syn, q)
+		if est < 0 || math.IsNaN(est) || math.IsInf(est, 0) {
+			t.Fatalf("bad estimate %g for %s", est, q)
+		}
+		if RelativeError(exact.Tuples, est, 1) < 2.0 {
+			sane++
+		}
+	}
+	if sane == 0 {
+		t.Fatal("every estimate was wildly off")
+	}
+}
+
+func TestGenerateDatasetUnknown(t *testing.T) {
+	if _, err := GenerateDataset("nope", 10, 0); err == nil {
+		t.Fatal("accepted unknown dataset")
+	}
+}
+
+func TestESDNilSemantics(t *testing.T) {
+	if ESD(nil, nil) != 0 {
+		t.Fatal("ESD(nil,nil) != 0")
+	}
+}
+
+func TestQueryRoundTripThroughFacade(t *testing.T) {
+	src := "//a[//b]{//p{//k?},//n?}"
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != src {
+		t.Fatalf("round trip: %q", q.String())
+	}
+}
+
+func TestStableSummaryLossless(t *testing.T) {
+	doc, _ := ParseXMLString(bibDoc)
+	st := BuildStable(doc)
+	back, err := st.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != doc.Size() {
+		t.Fatalf("expanded %d nodes, want %d", back.Size(), doc.Size())
+	}
+	if !strings.HasPrefix(back.Compact(), "bib(") {
+		t.Fatalf("bad expansion: %s", back.Compact())
+	}
+}
+
+func TestApproxResultExpandPreview(t *testing.T) {
+	doc, _ := ParseXMLString(bibDoc)
+	syn, _ := Build(doc, BuildOptions{BudgetBytes: 1 << 20})
+	q, _ := ParseQuery("//author{//paper}")
+	approx := EvaluateApprox(syn, q, EvalOptions{})
+	preview, err := approx.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preview.Size() == 0 {
+		t.Fatal("empty preview")
+	}
+}

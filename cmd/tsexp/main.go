@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"treesketch/internal/exp"
+	"treesketch/internal/obs"
 )
 
 func main() {
@@ -31,7 +32,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "run seed")
 		csvDir   = flag.String("csv", "", "directory for machine-readable CSV output (optional)")
 	)
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsFlags.Start(); err != nil {
+		fatal(err)
+	}
 
 	var budgetList []int
 	for _, part := range strings.Split(*budgets, ",") {
@@ -52,6 +57,9 @@ func main() {
 		Out:          os.Stdout,
 	}
 	if err := exp.Run(strings.Split(*run, ","), cfg, *csvDir); err != nil {
+		fatal(err)
+	}
+	if err := obsFlags.Finish(); err != nil {
 		fatal(err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"treesketch/internal/datagen"
+	"treesketch/internal/obs"
 	"treesketch/internal/stable"
 )
 
@@ -23,7 +24,11 @@ func main() {
 		out      = flag.String("o", "", "output XML file (default: <dataset>.xml)")
 		stats    = flag.Bool("stats", true, "print document statistics")
 	)
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsFlags.Start(); err != nil {
+		fatal(err)
+	}
 
 	d, err := datagen.ParseName(*dataset)
 	if err != nil {
@@ -45,6 +50,9 @@ func main() {
 		fmt.Printf("labels:         %d\n", len(doc.Labels()))
 		fmt.Printf("height:         %d\n", doc.Height())
 		fmt.Printf("stable summary: %d classes, %.1f KB\n", st.NumNodes(), float64(st.SizeBytes())/1024)
+	}
+	if err := obsFlags.Finish(); err != nil {
+		fatal(err)
 	}
 }
 

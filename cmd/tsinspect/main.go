@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"treesketch/internal/obs"
 	"treesketch/internal/sketch"
 )
 
@@ -23,9 +24,13 @@ func main() {
 		dump = flag.Bool("dump", false, "print every node and edge")
 		top  = flag.Int("top", 10, "show the N labels with most elements")
 	)
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
+	}
+	if err := obsFlags.Start(); err != nil {
+		fatal(err)
 	}
 	sk, err := sketch.LoadFile(*in)
 	if err != nil {
@@ -63,6 +68,9 @@ func main() {
 	if *dump {
 		fmt.Println("\nnodes:")
 		fmt.Print(sk.Dump())
+	}
+	if err := obsFlags.Finish(); err != nil {
+		fatal(err)
 	}
 }
 

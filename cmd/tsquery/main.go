@@ -17,6 +17,7 @@ import (
 
 	"treesketch/internal/esd"
 	"treesketch/internal/eval"
+	"treesketch/internal/obs"
 	"treesketch/internal/query"
 	"treesketch/internal/sketch"
 	"treesketch/internal/stable"
@@ -34,9 +35,13 @@ func main() {
 		exact    = flag.Bool("exact", true, "also evaluate exactly for comparison")
 		paper    = flag.Bool("paper", false, "evaluate with the paper's Figures 7/8 verbatim (disable refinements)")
 	)
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 	if *docPath == "" || *qsrc == "" {
 		fatal(fmt.Errorf("-doc and -query are required"))
+	}
+	if err := obsFlags.Start(); err != nil {
+		fatal(err)
 	}
 
 	doc, err := xmltree.ParseFile(*docPath)
@@ -97,6 +102,9 @@ func main() {
 			fmt.Println("approximate answer preview:")
 			tree.Write(os.Stdout)
 		}
+	}
+	if err := obsFlags.Finish(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -3,6 +3,7 @@ package eval
 import (
 	"sort"
 
+	"treesketch/internal/obs"
 	"treesketch/internal/query"
 	"treesketch/internal/sketch"
 )
@@ -29,6 +30,10 @@ type Options struct {
 	// worked example of the paper's Example 4.1 is reproduced exactly
 	// with PaperMode set.
 	PaperMode bool
+	// Metrics receives the evaluation's observability metrics (the
+	// eval.approx.* namespace). Nil selects the process-wide obs.Default
+	// registry.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +54,7 @@ func Approx(sk *sketch.Sketch, q *query.Query, opts Options) *Result {
 
 // approxWith exposes the two refinements independently for tests.
 func approxWith(sk *sketch.Sketch, q *query.Query, opts Options, conditioning, twoMoment bool) *Result {
+	reg := obs.Or(opts.Metrics)
 	a := &approxer{
 		sk:           sk,
 		q:            q,
@@ -59,11 +65,34 @@ func approxWith(sk *sketch.Sketch, q *query.Query, opts Options, conditioning, t
 		twoMoment:    twoMoment,
 		selMemo:      make(map[selKey]float64),
 		resIndex:     make(map[resKey]int),
+		reg:          reg,
+		mEmbeddings:  reg.Counter("eval.approx.embeddings"),
+		mEmbedWork:   reg.Counter("eval.approx.embed_steps"),
+		mSelHits:     reg.Counter("eval.approx.selmemo.hits"),
+		mSelMisses:   reg.Counter("eval.approx.selmemo.misses"),
+		hFanout:      reg.Histogram("eval.approx.fanout"),
 	}
 	for i, qn := range a.qnodes {
 		a.qidx[qn] = i
 	}
-	return a.run()
+	span := reg.StartSpan("eval.approx.query")
+	reg.Counter("eval.approx.queries").Inc()
+	res := a.run()
+	span.End()
+	if res.Empty {
+		reg.Counter("eval.approx.empty").Inc()
+	}
+	if res.Truncated {
+		reg.Counter("eval.approx.truncated").Inc()
+	}
+	reg.Histogram("eval.approx.result_nodes").Observe(float64(len(res.Nodes)))
+	// Per-query-node fanout: how many synopsis result classes each query
+	// variable bound. The spread of this distribution is what drives
+	// embedding-enumeration cost.
+	for _, ids := range a.bind {
+		a.hFanout.Observe(float64(len(ids)))
+	}
+	return res
 }
 
 type approxer struct {
@@ -82,6 +111,15 @@ type approxer struct {
 	selMemo    map[selKey]float64
 	reachCache map[string][]bool
 	truncated  bool
+
+	// Metric handles, resolved once per query so hot paths pay only an
+	// atomic add.
+	reg         *obs.Registry
+	mEmbeddings *obs.Counter
+	mEmbedWork  *obs.Counter
+	mSelHits    *obs.Counter
+	mSelMisses  *obs.Counter
+	hFanout     *obs.Histogram
 }
 
 type resKey struct {
@@ -366,6 +404,8 @@ func (a *approxer) embeddings(from int, steps []query.Step) []embedding {
 		}
 	}
 	rec(from, 0)
+	a.mEmbeddings.Add(int64(len(out)))
+	a.mEmbedWork.Add(int64(64*a.opts.MaxEmbeddings - work))
 	return out
 }
 
@@ -500,8 +540,10 @@ func pathKey(nodes []int) string {
 func (a *approxer) branchSel(from int, pred *query.Path) float64 {
 	k := selKey{from, pred}
 	if s, ok := a.selMemo[k]; ok {
+		a.mSelHits.Inc()
 		return s
 	}
+	a.mSelMisses.Inc()
 	embs := a.embeddings(from, pred.Steps)
 	var s float64
 	if a.twoMoment {
@@ -623,6 +665,15 @@ func (a *approxer) prune() bool {
 	}
 	if !keep[a.res.Root] {
 		return false
+	}
+	dropped := 0
+	for i := range keep {
+		if !keep[i] {
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		a.reg.Counter("eval.approx.prune_dropped").Add(int64(dropped))
 	}
 	// Drop pruned nodes and edges to them, renumbering densely.
 	remap := make([]int, len(a.res.Nodes))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"treesketch/internal/esd"
+	"treesketch/internal/obs"
 	"treesketch/internal/query"
 	"treesketch/internal/xmltree"
 )
@@ -25,16 +26,22 @@ type ExactResult struct {
 // edge of that variable has at least one valid binding beneath it; dashed
 // edges (from the query's return clause) may be empty.
 func Exact(ix *Index, q *query.Query) *ExactResult {
+	span := obs.StartSpan("eval.exact.query")
+	defer span.End()
+	reg := obs.Default()
+	reg.Counter("eval.exact.queries").Inc()
 	ev := newEvaluator(ix, q)
 	r := &ExactResult{ev: ev}
 	root := ix.Doc.Root
 	if root == nil || !ev.valid(0, root) {
 		r.Empty = true
+		reg.Counter("eval.exact.empty").Inc()
 		return r
 	}
 	r.Tuples = ev.tuples(0, root)
 	if r.Tuples == 0 {
 		r.Empty = true
+		reg.Counter("eval.exact.empty").Inc()
 	}
 	return r
 }

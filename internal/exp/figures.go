@@ -5,6 +5,7 @@ import (
 
 	"treesketch/internal/esd"
 	"treesketch/internal/eval"
+	"treesketch/internal/obs"
 	"treesketch/internal/sketch"
 	"treesketch/internal/tsbuild"
 	"treesketch/internal/xsketch"
@@ -48,6 +49,7 @@ func (r *Runner) buildXS(name string, budgetKB int) *xsketch.Sketch {
 // answers vs synopsis size, TreeSketch against twig-XSketch.
 func (r *Runner) Figure11(name string) Curve {
 	w := r.Workload(name, r.cfg.WorkloadSize, true)
+	hESD := obs.Default().Histogram("eval.approx.esd_error")
 	curve := Curve{Dataset: name}
 	for _, budgetKB := range r.cfg.BudgetsKB {
 		ts := r.buildTS(name, budgetKB)
@@ -58,8 +60,10 @@ func (r *Runner) Figure11(name string) Curve {
 			}
 			res := eval.Approx(ts, item.Q, eval.Options{})
 			ans := xs.ApproxAnswer(item.Q, xsketch.AnswerOptions{Seed: r.cfg.Seed + 7})
+			d := esd.Distance(item.TruthESD, res.ESDGraph())
+			hESD.Observe(d)
 			return [2]float64{
-				esd.Distance(item.TruthESD, res.ESDGraph()),
+				d,
 				esd.Distance(item.TruthESD, ans.ESDGraph()),
 			}
 		})
@@ -91,6 +95,7 @@ func (r *Runner) Figure11(name string) Curve {
 func (r *Runner) Figure12(name string) Curve {
 	w := r.Workload(name, r.cfg.WorkloadSize, false)
 	sanity := SanityBound(w)
+	hSel := obs.Default().Histogram("eval.approx.sel_error")
 	curve := Curve{Dataset: name}
 	for _, budgetKB := range r.cfg.BudgetsKB {
 		ts := r.buildTS(name, budgetKB)
@@ -101,8 +106,10 @@ func (r *Runner) Figure12(name string) Curve {
 			}
 			tsEst := eval.Approx(ts, item.Q, eval.Options{}).Selectivity()
 			xsEst := xs.Estimate(item.Q, xsketch.EstOptions{})
+			tsErr := eval.RelativeError(item.Truth, tsEst, sanity)
+			hSel.Observe(tsErr)
 			return [2]float64{
-				eval.RelativeError(item.Truth, tsEst, sanity),
+				tsErr,
 				eval.RelativeError(item.Truth, xsEst, sanity),
 			}
 		})
@@ -133,6 +140,7 @@ func (r *Runner) Figure12(name string) Curve {
 // on the large datasets.
 func (r *Runner) Figure13() []Curve {
 	var curves []Curve
+	hSel := obs.Default().Histogram("eval.approx.sel_error")
 	for _, name := range LargeNames() {
 		w := r.Workload(name, r.cfg.WorkloadSize, false)
 		sanity := SanityBound(w)
@@ -144,7 +152,9 @@ func (r *Runner) Figure13() []Curve {
 					return [2]float64{}
 				}
 				est := eval.Approx(ts, item.Q, eval.Options{}).Selectivity()
-				return [2]float64{eval.RelativeError(item.Truth, est, sanity), 0}
+				err := eval.RelativeError(item.Truth, est, sanity)
+				hSel.Observe(err)
+				return [2]float64{err, 0}
 			})
 			var sum float64
 			n := 0

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"treesketch/internal/esd"
+)
+
+// setWorkers overrides the worker-pool width for the duration of a test.
+func setWorkers(t *testing.T, n func() int) {
+	t.Helper()
+	old := maxWorkers
+	maxWorkers = n
+	t.Cleanup(func() { maxWorkers = old })
+}
+
+// chainESD builds a depth-n linked ESD graph so Size() has real memoization
+// work to do at every level.
+func chainESD(depth int) *esd.Node {
+	n := &esd.Node{Label: "leaf"}
+	for i := 0; i < depth; i++ {
+		n = &esd.Node{Label: "mid", Edges: []esd.Edge{{Child: n, Mult: 2}}}
+	}
+	return n
+}
+
+// TestForEachItemOrdering checks that results land at the index of their
+// item regardless of pool width, so downstream aggregation (CSV rows,
+// averages) is deterministic.
+func TestForEachItemOrdering(t *testing.T) {
+	const n = 64
+	items := make([]WorkloadItem, n)
+	widths := map[string]func() int{
+		"serial":  func() int { return 1 },
+		"two":     func() int { return 2 },
+		"numcpu":  runtime.NumCPU,
+		"surplus": func() int { return n * 4 },
+	}
+	for name, w := range widths {
+		t.Run(name, func(t *testing.T) {
+			setWorkers(t, w)
+			var calls atomic.Int64
+			out := forEachItem(items, func(i int, _ WorkloadItem) [2]float64 {
+				calls.Add(1)
+				return [2]float64{float64(i), float64(i * i)}
+			})
+			if got := calls.Load(); got != n {
+				t.Fatalf("fn called %d times, want %d", got, n)
+			}
+			if len(out) != n {
+				t.Fatalf("got %d results, want %d", len(out), n)
+			}
+			for i, r := range out {
+				if r != [2]float64{float64(i), float64(i * i)} {
+					t.Fatalf("out[%d] = %v: result not at its item's index", i, r)
+				}
+			}
+		})
+	}
+}
+
+// TestForEachItemEmpty exercises the zero-item and single-item edges.
+func TestForEachItemEmpty(t *testing.T) {
+	setWorkers(t, runtime.NumCPU)
+	if out := forEachItem(nil, func(int, WorkloadItem) [2]float64 {
+		t.Fatal("fn called for empty workload")
+		return [2]float64{}
+	}); len(out) != 0 {
+		t.Fatalf("got %d results for empty workload", len(out))
+	}
+	out := forEachItem([]WorkloadItem{{}}, func(i int, _ WorkloadItem) [2]float64 {
+		return [2]float64{7, 7}
+	})
+	if len(out) != 1 || out[0] != [2]float64{7, 7} {
+		t.Fatalf("single-item result = %v", out)
+	}
+}
+
+// TestForEachItemESDWarmup shares one truth ESD graph across every item and
+// calls esd.Size from fn, as the figure runners do. Size memoizes lazily on
+// the shared nodes; forEachItem must warm the memo before fanning out or
+// this test fails under -race.
+func TestForEachItemESDWarmup(t *testing.T) {
+	setWorkers(t, func() int { return 8 })
+	shared := chainESD(64)
+	want := esd.Size(chainESD(64)) // independent copy: the expected value
+	items := make([]WorkloadItem, 128)
+	for i := range items {
+		items[i].TruthESD = shared
+	}
+	out := forEachItem(items, func(i int, item WorkloadItem) [2]float64 {
+		return [2]float64{esd.Size(item.TruthESD), 0}
+	})
+	for i, r := range out {
+		if r[0] != want {
+			t.Fatalf("out[%d] size = %g, want %g", i, r[0], want)
+		}
+	}
+}

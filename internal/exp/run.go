@@ -2,7 +2,10 @@ package exp
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
+
+	"treesketch/internal/obs"
 )
 
 // ExperimentNames lists the runnable experiment identifiers. The first six
@@ -79,5 +82,21 @@ func Run(names []string, cfg Config, csvDir ...string) error {
 	if ran == 0 {
 		return fmt.Errorf("exp: no experiment matched %v (want %v)", names, ExperimentNames())
 	}
+	return r.WriteMetricsSidecar()
+}
+
+// WriteMetricsSidecar dumps the obs.Default metrics accumulated by the run
+// (build phase timings, eval.approx.* behavior, error-vs-truth histograms)
+// as metrics.json next to the experiment CSVs. It is a no-op when no CSV
+// directory was configured.
+func (r *Runner) WriteMetricsSidecar() error {
+	if r.csvDir == "" {
+		return nil
+	}
+	path := filepath.Join(r.csvDir, "metrics.json")
+	if err := obs.Default().WriteJSONFile(path); err != nil {
+		return fmt.Errorf("exp: metrics sidecar: %w", err)
+	}
+	r.printf("metrics: %s\n", path)
 	return nil
 }

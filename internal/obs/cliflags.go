@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLIFlags bundles the observability flags shared by every cmd/ binary:
+//
+//	-metrics out.json   write a JSON snapshot of the Default registry
+//	-metrics-text       dump the snapshot as flat text to stderr
+//	-cpuprofile f.prof  write a runtime/pprof CPU profile
+//	-memprofile f.prof  write a heap profile at exit
+//
+// Usage: register on the binary's FlagSet before flag.Parse, call Start
+// right after it, and Finish once the work is done.
+type CLIFlags struct {
+	metrics     *string
+	metricsText *bool
+	cpuProfile  *string
+	memProfile  *string
+
+	stopCPU func() error
+}
+
+// RegisterCLIFlags installs the shared observability flags on fs.
+func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	return &CLIFlags{
+		metrics:     fs.String("metrics", "", "write a JSON metrics snapshot to this file at exit"),
+		metricsText: fs.Bool("metrics-text", false, "dump the metrics snapshot as text to stderr at exit"),
+		cpuProfile:  fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		memProfile:  fs.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling when requested. Call after flag parsing.
+func (f *CLIFlags) Start() error {
+	if *f.cpuProfile == "" {
+		return nil
+	}
+	stop, err := StartCPUProfile(*f.cpuProfile)
+	if err != nil {
+		return err
+	}
+	f.stopCPU = stop
+	return nil
+}
+
+// Finish stops CPU profiling and writes the heap profile and metrics
+// snapshot as requested. Call once at the end of main.
+func (f *CLIFlags) Finish() error {
+	if f.stopCPU != nil {
+		if err := f.stopCPU(); err != nil {
+			return err
+		}
+		f.stopCPU = nil
+	}
+	if *f.memProfile != "" {
+		if err := WriteHeapProfile(*f.memProfile); err != nil {
+			return err
+		}
+	}
+	if *f.metrics != "" {
+		if err := Default().WriteJSONFile(*f.metrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %s\n", *f.metrics)
+	}
+	if *f.metricsText {
+		if err := Default().WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

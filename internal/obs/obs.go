@@ -1,0 +1,190 @@
+// Package obs is the observability substrate of the TreeSketch system: a
+// dependency-free, concurrency-safe registry of named counters, gauges,
+// log-scale histograms, and phase timers, with JSON and expvar-style text
+// snapshot export plus runtime/pprof profiling helpers.
+//
+// Metric names follow the convention "pkg.subsystem.name" (for example
+// "tsbuild.heap.pushes" or "eval.approx.embeddings"). Instrumented code
+// either uses the process-wide Default registry or accepts an injected
+// *Registry (nil always means Default, via Or), so tests and servers can
+// isolate their measurements while CLIs share one snapshot.
+//
+// All metric operations are lock-free atomic updates; looking a metric up
+// by name takes a read lock and should be done once, outside hot loops,
+// with the returned pointer cached.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry (or use Default).
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	timers     map[string]*Timer
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		timers:     make(map[string]*Timer),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry shared by instrumented packages
+// that were not handed an explicit one.
+func Default() *Registry { return defaultRegistry }
+
+// Or returns r when non-nil and the Default registry otherwise; it is the
+// injection point used by Options structs throughout the system.
+func Or(r *Registry) *Registry {
+	if r != nil {
+		return r
+	}
+	return defaultRegistry
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = newHistogram()
+	r.histograms[name] = h
+	return h
+}
+
+// Timer returns the timer with the given name, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.RLock()
+	t, ok := r.timers[name]
+	r.mu.RUnlock()
+	if ok {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok = r.timers[name]; ok {
+		return t
+	}
+	t = &Timer{}
+	r.timers[name] = t
+	return t
+}
+
+// Reset removes every metric from the registry. Meant for tests and for
+// CLIs that take several independent snapshots in one process.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.histograms = make(map[string]*Histogram)
+	r.timers = make(map[string]*Timer)
+}
+
+// sortedNames returns the keys of a metric map in lexical order; snapshots
+// and text export iterate deterministically.
+func sortedNames[T any](m map[string]T) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can move in both directions or track a
+// maximum.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// SetMax raises the gauge to v when v exceeds the current value.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 { return g.v.Load() }

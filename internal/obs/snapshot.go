@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, in a form
+// that serializes cleanly to JSON and round-trips back.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Timers     map[string]TimerSnapshot     `json:"timers,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// TimerSnapshot is the exported state of one phase timer. Durations are in
+// seconds so snapshots are unit-stable across tooling.
+type TimerSnapshot struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// HistogramSnapshot is the exported state of one histogram: summary moments
+// plus the non-empty log-scale buckets.
+type HistogramSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket covering [Lo, Hi).
+type HistBucket struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.timers) > 0 {
+		s.Timers = make(map[string]TimerSnapshot, len(r.timers))
+		for n, t := range r.timers {
+			s.Timers[n] = TimerSnapshot{
+				Count:        t.Count(),
+				TotalSeconds: t.Total().Seconds(),
+				MinSeconds:   t.Min().Seconds(),
+				MaxSeconds:   t.Max().Seconds(),
+			}
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for n, h := range r.histograms {
+			s.Histograms[n] = snapshotHistogram(h)
+		}
+	}
+	return s
+}
+
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		hs.Buckets = append(hs.Buckets, HistBucket{Lo: lo, Hi: hi, Count: n})
+	}
+	return hs
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteJSONFile writes the registry snapshot to the file at path.
+func (r *Registry) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteText writes the snapshot in an expvar-style flat text form, one
+// "name value" pair per line with sub-fields dotted onto the metric name,
+// sorted by name. Convenient for diffing runs and for grep.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	for _, n := range sortedNames(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(s.Timers) {
+		t := s.Timers[n]
+		if _, err := fmt.Fprintf(w, "%s.count %d\n%s.total_seconds %g\n%s.min_seconds %g\n%s.max_seconds %g\n",
+			n, t.Count, n, t.TotalSeconds, n, t.MinSeconds, n, t.MaxSeconds); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(s.Histograms) {
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w, "%s.count %d\n%s.sum %g\n%s.min %g\n%s.max %g\n",
+			n, h.Count, n, h.Sum, n, h.Min, n, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

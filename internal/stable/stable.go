@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"treesketch/internal/obs"
 	"treesketch/internal/xmltree"
 )
 
@@ -73,6 +74,7 @@ func Build(t *xmltree.Tree) *Synopsis {
 	if t.Root == nil {
 		return &Synopsis{Root: -1}
 	}
+	span := obs.StartSpan("stable.build")
 	s := &Synopsis{ClassOf: make([]int, t.OIDSpace())}
 	classByKey := make(map[string]int)
 	var keyBuf strings.Builder
@@ -116,6 +118,11 @@ func Build(t *xmltree.Tree) *Synopsis {
 		s.ClassOf[e.OID] = id
 	})
 	s.Root = s.ClassOf[t.Root.OID]
+	span.End()
+	reg := obs.Default()
+	reg.Counter("stable.build.runs").Inc()
+	reg.Counter("stable.build.elements").Add(int64(t.Size()))
+	reg.Histogram("stable.build.classes").Observe(float64(len(s.Nodes)))
 	return s
 }
 

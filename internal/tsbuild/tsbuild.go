@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"treesketch/internal/container"
+	"treesketch/internal/obs"
 	"treesketch/internal/sketch"
 	"treesketch/internal/stable"
 )
@@ -47,6 +48,34 @@ type Options struct {
 	// MaxPairEvals caps the number of candidate evaluations per CreatePool
 	// invocation. Defaults to 200000.
 	MaxPairEvals int
+	// Progress, when non-nil, receives construction milestones: one event
+	// after every pool build, one every ProgressEvery merges, and a final
+	// event when construction stops. Long builds are otherwise silent.
+	Progress func(ProgressEvent)
+	// ProgressEvery is the merge interval between Progress events. Defaults
+	// to 1000.
+	ProgressEvery int
+	// Metrics receives the build's observability metrics (tsbuild.* phase
+	// timings, heap counters, and gain-ratio histograms). Nil selects the
+	// process-wide obs.Default registry.
+	Metrics *obs.Registry
+}
+
+// ProgressEvent is one construction milestone reported through
+// Options.Progress.
+type ProgressEvent struct {
+	// Merges and PoolBuilds are cumulative since Build started.
+	Merges     int
+	PoolBuilds int
+	// SizeBytes is the current synopsis footprint; construction ends when
+	// it reaches BudgetBytes (or no merge can shrink it further).
+	SizeBytes   int
+	BudgetBytes int
+	// PoolSize is the number of candidate operations currently held.
+	PoolSize int
+	Elapsed  time.Duration
+	// Final marks the last event of the build.
+	Final bool
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +100,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxPairEvals <= 0 {
 		o.MaxPairEvals = 200000
 	}
+	if o.ProgressEvery <= 0 {
+		o.ProgressEvery = 1000
+	}
 	return o
 }
 
@@ -87,25 +119,52 @@ type Stats struct {
 	FinalSqErr    float64
 	Elapsed       time.Duration
 	BudgetReached bool
+
+	// Heap telemetry. HeapPushes counts every candidate accepted into the
+	// bounded CreatePool set or the merge-loop heap; HeapEvictions counts
+	// candidates displaced from the bounded set by better ones;
+	// MaxHeapSize is the largest merge-loop heap observed.
+	HeapPushes    int
+	HeapEvictions int
+	MaxHeapSize   int
 }
 
 // Build compresses the count-stable summary st down to opts.BudgetBytes and
 // returns the resulting TreeSketch (compacted: dense IDs, no tombstones).
 func Build(st *stable.Synopsis, opts Options) (*sketch.Sketch, Stats) {
 	opts = opts.withDefaults()
+	reg := obs.Or(opts.Metrics)
+	buildSpan := reg.StartSpan("tsbuild.build")
 	start := time.Now()
 	b := newBuilder(st, opts)
 	stats := Stats{
 		InitialNodes: b.sk.NumNodes(),
 		InitialBytes: b.size,
 	}
+	progress := func(final bool) {
+		if opts.Progress == nil {
+			return
+		}
+		opts.Progress(ProgressEvent{
+			Merges:      stats.Merges,
+			PoolBuilds:  stats.PoolBuilds,
+			SizeBytes:   b.size,
+			BudgetBytes: opts.BudgetBytes,
+			PoolSize:    len(b.ops),
+			Elapsed:     time.Since(start),
+			Final:       final,
+		})
+	}
 
 	for b.size > opts.BudgetBytes {
+		poolSpan := reg.StartSpan("tsbuild.createPool")
 		n := b.createPool()
+		poolSpan.End()
 		stats.PoolBuilds++
 		if n == 0 {
 			break
 		}
+		progress(false)
 		// When the freshly built pool is already below Lh, drain it fully;
 		// otherwise stop at Lh and regenerate (Figure 5, line 5).
 		lower := opts.HeapLower
@@ -113,28 +172,56 @@ func Build(st *stable.Synopsis, opts Options) (*sketch.Sketch, Stats) {
 			lower = 0
 		}
 		progressed := false
+		mergeSpan := reg.StartSpan("tsbuild.mergeLoop")
 		for b.size > opts.BudgetBytes && len(b.ops) > lower {
 			if b.step() {
 				stats.Merges++
 				progressed = true
+				if stats.Merges%opts.ProgressEvery == 0 {
+					progress(false)
+				}
 			} else {
 				break
 			}
 		}
+		mergeSpan.End()
 		if !progressed {
 			break
 		}
 	}
 
+	compactSpan := reg.StartSpan("tsbuild.compact")
 	out := b.sk.Compact()
+	compactSpan.End()
 	stats.FinalNodes = out.NumNodes()
 	stats.FinalBytes = out.SizeBytes()
 	stats.FinalSqErr = out.SqErr()
 	stats.PairEvals = b.pairEvals
 	stats.CycleRejects = b.cycleRejects
+	stats.HeapPushes = b.heapPushes
+	stats.HeapEvictions = b.heapEvictions
+	stats.MaxHeapSize = b.maxHeapSize
 	stats.Elapsed = time.Since(start)
 	stats.BudgetReached = stats.FinalBytes <= opts.BudgetBytes
+	progress(true)
+	buildSpan.End()
+	b.publish(reg, stats)
 	return out, stats
+}
+
+// publish folds one build's telemetry into the metrics registry under the
+// tsbuild.* namespace.
+func (b *builder) publish(reg *obs.Registry, stats Stats) {
+	reg.Counter("tsbuild.builds").Inc()
+	reg.Counter("tsbuild.merges").Add(int64(stats.Merges))
+	reg.Counter("tsbuild.pool.builds").Add(int64(stats.PoolBuilds))
+	reg.Counter("tsbuild.pool.pair_evals").Add(int64(stats.PairEvals))
+	reg.Counter("tsbuild.pool.cycle_rejects").Add(int64(stats.CycleRejects))
+	reg.Counter("tsbuild.pool.op_dupes").Add(int64(b.opDupes))
+	reg.Counter("tsbuild.heap.pushes").Add(int64(stats.HeapPushes))
+	reg.Counter("tsbuild.heap.evictions").Add(int64(stats.HeapEvictions))
+	reg.Gauge("tsbuild.heap.max_size").SetMax(int64(stats.MaxHeapSize))
+	reg.Histogram("tsbuild.bytes_saved").Observe(float64(stats.InitialBytes - stats.FinalBytes))
 }
 
 // opKey identifies a candidate merge by its (smaller, larger) node IDs.
@@ -176,6 +263,22 @@ type builder struct {
 
 	pairEvals    int
 	cycleRejects int
+
+	heapPushes    int
+	heapEvictions int
+	maxHeapSize   int
+	opDupes       int
+	gainHist      *obs.Histogram
+}
+
+// pushHeap wraps heap insertion with the telemetry the Stats heap fields
+// report.
+func (b *builder) pushHeap(prio float64, e heapEntry) {
+	b.heap.Push(prio, e)
+	b.heapPushes++
+	if n := b.heap.Len(); n > b.maxHeapSize {
+		b.maxHeapSize = n
+	}
 }
 
 func newBuilder(st *stable.Synopsis, opts Options) *builder {
@@ -189,6 +292,7 @@ func newBuilder(st *stable.Synopsis, opts Options) *builder {
 		size:      sk.SizeBytes(),
 		ops:       make(map[opKey]*op),
 		nodeOps:   make(map[int][]opKey),
+		gainHist:  obs.Or(opts.Metrics).Histogram("tsbuild.merge.gain_ratio"),
 	}
 	for i := range b.clusterOf {
 		b.clusterOf[i] = i
@@ -485,7 +589,7 @@ func (b *builder) step() bool {
 			}
 			o.errd, o.sized, o.dirty = errd, sized, false
 			o.prio = ratio(errd, sized)
-			b.heap.Push(o.prio, heapEntry{o.key, o.prio})
+			b.pushHeap(o.prio, heapEntry{o.key, o.prio})
 			continue
 		}
 		// Re-check admissibility at application time: the graph may have
@@ -496,6 +600,7 @@ func (b *builder) step() bool {
 			continue
 		}
 		b.removeOp(o.key)
+		b.gainHist.Observe(o.prio)
 		wid := b.apply(x, y)
 		b.afterMerge(x, y, wid)
 		return true
@@ -563,6 +668,7 @@ func (b *builder) afterMerge(x, y, wid int) {
 func (b *builder) addOp(x, y int) bool {
 	k := keyOf(x, y)
 	if _, exists := b.ops[k]; exists {
+		b.opDupes++
 		return true
 	}
 	errd, sized, ok := b.evaluate(x, y)
@@ -573,7 +679,7 @@ func (b *builder) addOp(x, y int) bool {
 	b.ops[k] = o
 	b.nodeOps[k[0]] = append(b.nodeOps[k[0]], k)
 	b.nodeOps[k[1]] = append(b.nodeOps[k[1]], k)
-	b.heap.Push(o.prio, heapEntry{k, o.prio})
+	b.pushHeap(o.prio, heapEntry{k, o.prio})
 	return true
 }
 
@@ -621,7 +727,13 @@ func (b *builder) createPool() int {
 		if !ok {
 			return
 		}
-		pool.Push(ratio(errd, sized), cand{k, errd, sized})
+		wasFull := pool.Full()
+		if pool.Push(ratio(errd, sized), cand{k, errd, sized}) {
+			b.heapPushes++
+			if wasFull {
+				b.heapEvictions++
+			}
+		}
 	}
 
 	// Group live non-root nodes by label, each group sorted by depth.
@@ -688,7 +800,7 @@ func (b *builder) createPool() int {
 		b.ops[c.key] = o
 		b.nodeOps[c.key[0]] = append(b.nodeOps[c.key[0]], c.key)
 		b.nodeOps[c.key[1]] = append(b.nodeOps[c.key[1]], c.key)
-		b.heap.Push(o.prio, heapEntry{c.key, o.prio})
+		b.pushHeap(o.prio, heapEntry{c.key, o.prio})
 	}
 	return len(b.ops)
 }

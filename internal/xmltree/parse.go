@@ -7,16 +7,24 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"treesketch/internal/obs"
 )
 
 // Parse reads an XML document from r and returns its element tree. Text
 // content, attributes, comments, and processing instructions are discarded:
 // the TreeSketch framework summarizes only the label structure (Section 2 of
 // the paper). Parse fails on malformed XML or on documents with no element.
+//
+// Parse reports xmltree.parse.* metrics (documents, elements, depth, phase
+// timing) to the obs.Default registry; elements/sec is the elements counter
+// over the phase timer's total.
 func Parse(r io.Reader) (*Tree, error) {
+	span := obs.StartSpan("xmltree.parse")
 	t := NewTree()
 	dec := xml.NewDecoder(bufio.NewReader(r))
 	var stack []*Node
+	maxDepth := 0
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -38,6 +46,9 @@ func Parse(r io.Reader) (*Tree, error) {
 				p.Children = append(p.Children, n)
 			}
 			stack = append(stack, n)
+			if len(stack) > maxDepth {
+				maxDepth = len(stack)
+			}
 		case xml.EndElement:
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", el.Name.Local)
@@ -51,6 +62,11 @@ func Parse(r io.Reader) (*Tree, error) {
 	if len(stack) != 0 {
 		return nil, fmt.Errorf("xmltree: parse: %d unclosed elements", len(stack))
 	}
+	span.End()
+	reg := obs.Default()
+	reg.Counter("xmltree.parse.docs").Inc()
+	reg.Counter("xmltree.parse.elements").Add(int64(t.Size()))
+	reg.Gauge("xmltree.parse.max_depth").SetMax(int64(maxDepth - 1))
 	return t, nil
 }
 

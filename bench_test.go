@@ -1,6 +1,7 @@
 package treesketch
 
 import (
+	"math"
 	"testing"
 
 	"treesketch/internal/datagen"
@@ -17,7 +18,19 @@ import (
 // Experiment benchmarks: one per table and figure of the paper's Section 6
 // (see DESIGN.md §3 for the index). They run the exp harness at a reduced
 // scale so `go test -bench=.` completes in minutes; use cmd/tsexp for
-// larger runs.
+// larger runs and cmd/tsbench for the standardized regression grid.
+//
+// Each benchmark reports a domain rate alongside ns/op: elems/s for
+// construction, queries/s for evaluation, mre% / esd for accuracy. The
+// ones that synthesize large documents skip themselves under -short.
+
+// skipLarge skips document-heavy benchmarks under `go test -short -bench`.
+func skipLarge(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping large-dataset benchmark in -short mode")
+	}
+}
 
 func benchConfig() exp.Config {
 	return exp.Config{
@@ -31,6 +44,7 @@ func benchConfig() exp.Config {
 }
 
 func BenchmarkTable1DatasetCharacteristics(b *testing.B) {
+	skipLarge(b)
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(benchConfig())
 		rows := r.Table1()
@@ -41,6 +55,7 @@ func BenchmarkTable1DatasetCharacteristics(b *testing.B) {
 }
 
 func BenchmarkTable2WorkloadCharacteristics(b *testing.B) {
+	skipLarge(b)
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(benchConfig())
 		rows := r.Table2()
@@ -51,6 +66,7 @@ func BenchmarkTable2WorkloadCharacteristics(b *testing.B) {
 }
 
 func BenchmarkTable3ConstructionTimes(b *testing.B) {
+	skipLarge(b)
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(benchConfig())
 		rows := r.Table3()
@@ -73,13 +89,17 @@ func BenchmarkFig11cApproxAnswersSProt(b *testing.B) {
 }
 
 func benchFig11(b *testing.B, name string) {
+	skipLarge(b)
+	var esdAvg float64
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(benchConfig())
 		c := r.Figure11(name)
 		if len(c.Points) == 0 {
 			b.Fatal("no points")
 		}
+		esdAvg = curveMean(c)
 	}
+	b.ReportMetric(esdAvg, "esd")
 }
 
 func BenchmarkFig12aSelectivityXMark(b *testing.B) {
@@ -91,24 +111,54 @@ func BenchmarkFig12bSelectivitySProt(b *testing.B) {
 }
 
 func benchFig12(b *testing.B, name string) {
+	skipLarge(b)
+	var mre float64
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(benchConfig())
 		c := r.Figure12(name)
 		if len(c.Points) == 0 {
 			b.Fatal("no points")
 		}
+		mre = curveMean(c)
 	}
+	b.ReportMetric(mre, "mre%")
 }
 
 func BenchmarkFig13LargeDatasets(b *testing.B) {
+	skipLarge(b)
+	var mre float64
 	for i := 0; i < b.N; i++ {
 		cfg := benchConfig()
 		cfg.LargeScale = 8000
 		r := exp.NewRunner(cfg)
-		if curves := r.Figure13(); len(curves) != 4 {
+		curves := r.Figure13()
+		if len(curves) != 4 {
 			b.Fatal("bad curve count")
 		}
+		var sum float64
+		for _, c := range curves {
+			sum += curveMean(c)
+		}
+		mre = sum / float64(len(curves))
 	}
+	b.ReportMetric(mre, "mre%")
+}
+
+// curveMean averages a curve's TreeSketch metric over its budget points,
+// ignoring empty (NaN) cells.
+func curveMean(c exp.Curve) float64 {
+	var sum float64
+	n := 0
+	for _, p := range c.Points {
+		if !math.IsNaN(p.TreeSketch) {
+			sum += p.TreeSketch
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
 }
 
 // Micro-benchmarks of the pipeline stages.
@@ -120,6 +170,7 @@ func benchDoc(b *testing.B, n int) (*Document, *StableSummary) {
 }
 
 func BenchmarkBuildStable(b *testing.B) {
+	skipLarge(b)
 	doc := datagen.Generate(datagen.XMark, 50000, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -129,10 +180,12 @@ func BenchmarkBuildStable(b *testing.B) {
 			b.Fatal("empty")
 		}
 	}
+	b.ReportMetric(float64(b.N)*float64(doc.Size())/b.Elapsed().Seconds(), "elems/s")
 }
 
 func BenchmarkTSBuildCompression(b *testing.B) {
-	_, st := benchDoc(b, 50000)
+	skipLarge(b)
+	doc, st := benchDoc(b, 50000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -141,9 +194,11 @@ func BenchmarkTSBuildCompression(b *testing.B) {
 			b.Fatal("empty")
 		}
 	}
+	b.ReportMetric(float64(b.N)*float64(doc.Size())/b.Elapsed().Seconds(), "elems/s")
 }
 
 func BenchmarkXSketchBuild(b *testing.B) {
+	skipLarge(b)
 	doc, st := benchDoc(b, 20000)
 	ix := eval.NewIndex(doc)
 	qs := query.Generate(st, 10, query.GenOptions{Seed: 3})
@@ -159,9 +214,11 @@ func BenchmarkXSketchBuild(b *testing.B) {
 			b.Fatal("empty")
 		}
 	}
+	b.ReportMetric(float64(b.N)*float64(doc.Size())/b.Elapsed().Seconds(), "elems/s")
 }
 
 func BenchmarkApproxEval(b *testing.B) {
+	skipLarge(b)
 	_, st := benchDoc(b, 50000)
 	sk, _ := tsbuild.Build(st, tsbuild.Options{BudgetBytes: 20 << 10})
 	q := query.MustParse("//person[//address]{//watches{//watch?},//phone?}")
@@ -173,9 +230,11 @@ func BenchmarkApproxEval(b *testing.B) {
 			b.Fatal("nil result")
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }
 
 func BenchmarkExactEval(b *testing.B) {
+	skipLarge(b)
 	doc, _ := benchDoc(b, 50000)
 	ix := eval.NewIndex(doc)
 	q := query.MustParse("//person[//address]{//watches{//watch?},//phone?}")
@@ -187,22 +246,30 @@ func BenchmarkExactEval(b *testing.B) {
 			b.Fatal("nil result")
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }
 
 func BenchmarkSelectivityEstimate(b *testing.B) {
-	_, st := benchDoc(b, 50000)
+	skipLarge(b)
+	doc, st := benchDoc(b, 50000)
 	sk, _ := tsbuild.Build(st, tsbuild.Options{BudgetBytes: 20 << 10})
 	q := query.MustParse("//open_auction{//bidder}")
+	truth := eval.Exact(eval.NewIndex(doc), q).Tuples
+	var est float64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if eval.Approx(sk, q, eval.Options{}).Selectivity() < 0 {
+		est = eval.Approx(sk, q, eval.Options{}).Selectivity()
+		if est < 0 {
 			b.Fatal("negative")
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(100*eval.RelativeError(truth, est, 1), "mre%")
 }
 
 func BenchmarkESDDistance(b *testing.B) {
+	skipLarge(b)
 	doc, st := benchDoc(b, 20000)
 	ix := eval.NewIndex(doc)
 	sk, _ := tsbuild.Build(st, tsbuild.Options{BudgetBytes: 10 << 10})
@@ -231,6 +298,7 @@ func BenchmarkSketchExpand(b *testing.B) {
 }
 
 func BenchmarkParseXML(b *testing.B) {
+	skipLarge(b)
 	doc := datagen.Generate(datagen.DBLP, 20000, 1)
 	var sb []byte
 	{
@@ -241,12 +309,15 @@ func BenchmarkParseXML(b *testing.B) {
 	b.SetBytes(int64(len(sb)))
 	b.ReportAllocs()
 	b.ResetTimer()
+	var elems float64
 	for i := 0; i < b.N; i++ {
 		t, err := ParseXMLString(string(sb))
 		if err != nil || t.Size() == 0 {
 			b.Fatal(err)
 		}
+		elems = float64(t.Size())
 	}
+	b.ReportMetric(float64(b.N)*elems/b.Elapsed().Seconds(), "elems/s")
 }
 
 type writerBuf struct{ b []byte }

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the end-to-end harness test fast: one dataset, two
+// budgets, a handful of queries.
+func tinyConfig() Config {
+	return Config{
+		Datasets:     []string{"XMark-TX"},
+		BudgetsKB:    []int{2, 4},
+		Scale:        1500,
+		WorkloadSize: 6,
+		Seed:         DefaultSeed,
+		Quick:        true,
+	}
+}
+
+func TestRunProducesFullGrid(t *testing.T) {
+	var progress bytes.Buffer
+	cfg := tinyConfig()
+	cfg.Out = &progress
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchemaVersion != SchemaVersion {
+		t.Errorf("schema version = %d, want %d", res.SchemaVersion, SchemaVersion)
+	}
+	if res.GoVersion == "" || res.GOMAXPROCS <= 0 {
+		t.Errorf("run metadata incomplete: %+v", res)
+	}
+
+	wantBench := []string{"build/XMark-TX", "sketch/XMark-TX/02kb", "sketch/XMark-TX/04kb", "eval/XMark-TX/02kb", "eval/XMark-TX/04kb"}
+	for _, name := range wantBench {
+		if _, ok := res.Benchmarks[name]; !ok {
+			t.Fatalf("missing benchmark %q (have %v)", name, sortedKeys(res.Benchmarks))
+		}
+	}
+
+	build := res.Benchmarks["build/XMark-TX"]
+	for _, m := range []string{"elements", "stable_seconds", "stable_elems_per_sec", "exact_p50_seconds", "exact_p95_seconds", "exact_p99_seconds"} {
+		if build[m] <= 0 {
+			t.Errorf("build metric %s = %g, want > 0", m, build[m])
+		}
+	}
+	sk := res.Benchmarks["sketch/XMark-TX/02kb"]
+	for _, m := range []string{"tsbuild_seconds", "tsbuild_elems_per_sec", "final_bytes"} {
+		if sk[m] <= 0 {
+			t.Errorf("sketch metric %s = %g, want > 0", m, sk[m])
+		}
+	}
+	ev := res.Benchmarks["eval/XMark-TX/02kb"]
+	for _, m := range []string{"approx_p50_seconds", "approx_p95_seconds", "approx_p99_seconds", "approx_queries_per_sec"} {
+		if ev[m] <= 0 {
+			t.Errorf("eval metric %s = %g, want > 0", m, ev[m])
+		}
+	}
+	if _, ok := ev["sel_mre_pct"]; !ok {
+		t.Error("eval benchmark missing sel_mre_pct")
+	}
+	if _, ok := ev["esd_avg"]; !ok {
+		t.Error("eval benchmark missing esd_avg")
+	}
+	if ev["approx_p50_seconds"] > ev["approx_p95_seconds"] || ev["approx_p95_seconds"] > ev["approx_p99_seconds"] {
+		t.Errorf("latency percentiles not monotone: p50=%g p95=%g p99=%g",
+			ev["approx_p50_seconds"], ev["approx_p95_seconds"], ev["approx_p99_seconds"])
+	}
+
+	// The embedded obs snapshot carries the raw latency distributions and
+	// the tsbuild phase timers the headline metrics were derived from.
+	if _, ok := res.Obs.Histograms["bench.XMark-TX.02kb.approx_latency_seconds"]; !ok {
+		t.Errorf("obs snapshot missing bench latency histogram (have %v)", sortedKeys(res.Obs.Histograms))
+	}
+	if _, ok := res.Obs.Timers["tsbuild.build"]; !ok {
+		t.Errorf("obs snapshot missing tsbuild.build timer (have %v)", sortedKeys(res.Obs.Timers))
+	}
+	if !strings.Contains(progress.String(), "XMark-TX") {
+		t.Error("no progress output written")
+	}
+}
+
+func TestRunIsSeedReproducible(t *testing.T) {
+	a, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timing metrics vary run to run; the accuracy metrics must be
+	// bit-identical for equal seeds.
+	for _, bench := range []string{"eval/XMark-TX/02kb", "eval/XMark-TX/04kb"} {
+		for _, m := range []string{"sel_mre_pct", "esd_avg"} {
+			if a.Benchmarks[bench][m] != b.Benchmarks[bench][m] {
+				t.Errorf("%s %s not reproducible: %g vs %g", bench, m, a.Benchmarks[bench][m], b.Benchmarks[bench][m])
+			}
+		}
+	}
+
+	other := tinyConfig()
+	other.Seed = 99
+	c, err := Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config.Seed != 99 {
+		t.Errorf("config seed not recorded: %+v", c.Config)
+	}
+	same := true
+	for _, bench := range []string{"eval/XMark-TX/02kb", "eval/XMark-TX/04kb"} {
+		for _, m := range []string{"sel_mre_pct", "esd_avg"} {
+			if a.Benchmarks[bench][m] != c.Benchmarks[bench][m] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical accuracy metrics (workload not seeded?)")
+	}
+}
+
+func TestRunCompareRoundTripGates(t *testing.T) {
+	res, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_treesketch.json")
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Compare(loaded, res, 1).Gate(); err != nil {
+		t.Fatalf("self-comparison failed gate: %v", err)
+	}
+
+	// Injected regression must trip the gate end to end.
+	bad := clone(res)
+	for name, m := range bad.Benchmarks {
+		if strings.HasPrefix(name, "eval/") {
+			m["approx_p99_seconds"] *= 10
+		}
+	}
+	err = Compare(loaded, bad, 1).Gate()
+	if err == nil {
+		t.Fatal("10x p99 regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "approx_p99_seconds") {
+		t.Errorf("gate error does not name the regressed metric: %v", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	got := Config{}.withDefaults()
+	if got.Seed != DefaultSeed {
+		t.Errorf("default seed = %d, want %d", got.Seed, DefaultSeed)
+	}
+	if len(got.Datasets) == 0 || len(got.BudgetsKB) == 0 || got.Scale <= 0 || got.WorkloadSize <= 0 {
+		t.Errorf("defaults incomplete: %+v", got)
+	}
+	for _, cfg := range []Config{FullConfig(), QuickConfig()} {
+		if len(cfg.Datasets) < 3 || len(cfg.BudgetsKB) < 3 {
+			t.Errorf("config grid smaller than 3 datasets x 3 budgets: %+v", cfg)
+		}
+		if cfg.Seed != DefaultSeed {
+			t.Errorf("config seed = %d, want documented default %d", cfg.Seed, DefaultSeed)
+		}
+	}
+	if fmt.Sprintf("%d", DefaultSeed) != "1" {
+		t.Errorf("DefaultSeed changed; update the README documentation")
+	}
+}

@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// WriteJSON serializes the result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the result to path (the committed baseline lives at
+// BENCH_treesketch.json in the repo root).
+func (r *Result) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadFile loads a previously written result and validates its schema
+// version.
+func ReadFile(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema version %d, this binary speaks %d — regenerate the file", path, r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Status classifies one metric's baseline-vs-current delta.
+type Status string
+
+const (
+	// StatusOK: gated metric within its noise threshold.
+	StatusOK Status = "ok"
+	// StatusImproved: gated metric moved in the good direction beyond the
+	// threshold.
+	StatusImproved Status = "improved"
+	// StatusRegressed: gated metric moved in the bad direction beyond the
+	// threshold; fails the gate.
+	StatusRegressed Status = "REGRESSED"
+	// StatusMissing: the baseline has this metric but the current run does
+	// not; fails the gate (lost coverage).
+	StatusMissing Status = "MISSING"
+	// StatusNew: the current run has this metric but the baseline does
+	// not; informational.
+	StatusNew Status = "new"
+	// StatusInfo: ungated metric (counts, sizes) shown for context only.
+	StatusInfo Status = "info"
+	// StatusSkip: gated metric whose baseline value is 0, so no relative
+	// delta exists; never fails the gate.
+	StatusSkip Status = "skip"
+)
+
+// DeltaRow is one metric's comparison between a baseline and a current run.
+type DeltaRow struct {
+	Benchmark string
+	Metric    string
+	Old, New  float64
+	// Delta is the relative change (new-old)/|old|; NaN when undefined.
+	Delta float64
+	// Threshold is the effective noise threshold (after slack); 0 for
+	// ungated metrics.
+	Threshold float64
+	Status    Status
+}
+
+// Comparison is the full delta between two benchmark results.
+type Comparison struct {
+	Rows        []DeltaRow
+	Regressions []DeltaRow // rows with StatusRegressed or StatusMissing
+	Warnings    []string
+}
+
+// metricPolicy returns the gating policy for a metric name: whether the
+// metric participates in the gate, whether larger values are better, and
+// the relative noise threshold within which a delta is ignored.
+//
+// Timing and throughput metrics get a wide 30% band — they measure the
+// machine as much as the code. Accuracy metrics (selectivity MRE, ESD) are
+// seed-deterministic, so they gate at 2%. Structural counts (merges, node
+// and byte totals) are shown but not gated: they legitimately change with
+// algorithm work, in either direction. The phase_* breakdown is diagnostic
+// only: each value is a single sub-millisecond span, so its run-to-run
+// jitter dwarfs any real signal (the aggregate tsbuild_seconds is gated
+// instead).
+func metricPolicy(name string) (gated, higherBetter bool, threshold float64) {
+	switch {
+	case strings.HasPrefix(name, "phase_"):
+		return false, false, 0
+	case strings.Contains(name, "per_sec"):
+		return true, true, 0.30
+	case strings.Contains(name, "_p95_") || strings.Contains(name, "_p99_"):
+		// Tail percentiles are the jumpiest timing metrics even after
+		// the repeated passes; give them a wider band than the medians.
+		return true, false, 0.50
+	case strings.Contains(name, "seconds"):
+		return true, false, 0.30
+	case strings.Contains(name, "mre") || strings.Contains(name, "esd"):
+		return true, false, 0.02
+	default:
+		return false, false, 0
+	}
+}
+
+// Compare diffs a current run against a baseline. slack multiplies every
+// noise threshold (CI uses slack > 1 to tolerate noisy shared runners);
+// values <= 0 mean 1.
+func Compare(base, cur *Result, slack float64) *Comparison {
+	if slack <= 0 {
+		slack = 1
+	}
+	c := &Comparison{}
+	if base.Config.Quick != cur.Config.Quick {
+		c.Warnings = append(c.Warnings, fmt.Sprintf(
+			"baseline quick=%v but current quick=%v: numbers are not at the same scale", base.Config.Quick, cur.Config.Quick))
+	}
+	for _, bname := range sortedKeys(base.Benchmarks) {
+		bm := base.Benchmarks[bname]
+		cm, ok := cur.Benchmarks[bname]
+		if !ok {
+			for _, metric := range sortedKeys(bm) {
+				row := DeltaRow{Benchmark: bname, Metric: metric, Old: bm[metric], New: math.NaN(), Delta: math.NaN(), Status: StatusMissing}
+				c.Rows = append(c.Rows, row)
+				c.Regressions = append(c.Regressions, row)
+			}
+			continue
+		}
+		for _, metric := range sortedKeys(bm) {
+			row := compareMetric(bname, metric, bm[metric], cm, slack)
+			c.Rows = append(c.Rows, row)
+			if row.Status == StatusRegressed || row.Status == StatusMissing {
+				c.Regressions = append(c.Regressions, row)
+			}
+		}
+		for _, metric := range sortedKeys(cm) {
+			if _, ok := bm[metric]; !ok {
+				c.Rows = append(c.Rows, DeltaRow{Benchmark: bname, Metric: metric, Old: math.NaN(), New: cm[metric], Delta: math.NaN(), Status: StatusNew})
+			}
+		}
+	}
+	for _, bname := range sortedKeys(cur.Benchmarks) {
+		if _, ok := base.Benchmarks[bname]; !ok {
+			for _, metric := range sortedKeys(cur.Benchmarks[bname]) {
+				c.Rows = append(c.Rows, DeltaRow{Benchmark: bname, Metric: metric, Old: math.NaN(), New: cur.Benchmarks[bname][metric], Delta: math.NaN(), Status: StatusNew})
+			}
+		}
+	}
+	return c
+}
+
+func compareMetric(bname, metric string, old float64, cm Metrics, slack float64) DeltaRow {
+	row := DeltaRow{Benchmark: bname, Metric: metric, Old: old, Delta: math.NaN()}
+	nv, ok := cm[metric]
+	if !ok {
+		row.New = math.NaN()
+		row.Status = StatusMissing
+		return row
+	}
+	row.New = nv
+	gated, higherBetter, threshold := metricPolicy(metric)
+	if !gated {
+		row.Status = StatusInfo
+		if old != 0 {
+			row.Delta = (nv - old) / math.Abs(old)
+		}
+		return row
+	}
+	row.Threshold = threshold * slack
+	if old == 0 {
+		// No relative delta exists against a zero baseline; surface the
+		// value but never fail the gate on it.
+		if nv == 0 {
+			row.Delta = 0
+			row.Status = StatusOK
+		} else {
+			row.Status = StatusSkip
+		}
+		return row
+	}
+	row.Delta = (nv - old) / math.Abs(old)
+	worse := row.Delta // for lower-is-better, a positive delta is worse
+	if higherBetter {
+		worse = -row.Delta
+	}
+	switch {
+	case worse > row.Threshold:
+		row.Status = StatusRegressed
+	case -worse > row.Threshold:
+		row.Status = StatusImproved
+	default:
+		row.Status = StatusOK
+	}
+	return row
+}
+
+// Gate returns an error describing every regression, or nil when the
+// comparison is clean. CLI callers turn the error into a nonzero exit.
+func (c *Comparison) Gate() error {
+	if len(c.Regressions) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d metric(s) failed the regression gate:", len(c.Regressions))
+	for _, r := range c.Regressions {
+		if r.Status == StatusMissing {
+			fmt.Fprintf(&b, "\n  %s %s: present in baseline, missing from current run", r.Benchmark, r.Metric)
+			continue
+		}
+		fmt.Fprintf(&b, "\n  %s %s: %.4g -> %.4g (%+.1f%%, threshold ±%.0f%%)",
+			r.Benchmark, r.Metric, r.Old, r.New, 100*r.Delta, 100*r.Threshold)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// WriteTable prints the delta table: every gated metric plus any
+// non-ok rows, grouped by benchmark, followed by a one-line summary.
+func (c *Comparison) WriteTable(w io.Writer) error {
+	for _, warn := range c.Warnings {
+		if _, err := fmt.Fprintf(w, "warning: %s\n", warn); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-18s %-26s %12s %12s %9s %7s  %s\n",
+		"benchmark", "metric", "old", "new", "delta", "thresh", "status"); err != nil {
+		return err
+	}
+	var ok, improved, regressed, missing int
+	for _, r := range c.Rows {
+		switch r.Status {
+		case StatusOK:
+			ok++
+		case StatusImproved:
+			improved++
+		case StatusRegressed:
+			regressed++
+		case StatusMissing:
+			missing++
+		}
+		// Keep the table focused: ungated in-noise context rows are
+		// summarized, not printed.
+		if r.Status == StatusInfo || r.Status == StatusNew {
+			continue
+		}
+		delta, thresh := "n/a", "-"
+		if !math.IsNaN(r.Delta) {
+			delta = fmt.Sprintf("%+.1f%%", 100*r.Delta)
+		}
+		if r.Threshold > 0 {
+			thresh = fmt.Sprintf("%.0f%%", 100*r.Threshold)
+		}
+		if _, err := fmt.Fprintf(w, "%-18s %-26s %12.5g %12.5g %9s %7s  %s\n",
+			r.Benchmark, r.Metric, r.Old, r.New, delta, thresh, r.Status); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "compare: %d ok, %d improved, %d regressed, %d missing (of %d rows)\n",
+		ok, improved, regressed, missing, len(c.Rows))
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

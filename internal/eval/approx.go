@@ -78,7 +78,9 @@ func approxWith(sk *sketch.Sketch, q *query.Query, opts Options, conditioning, t
 	span := reg.StartSpan("eval.approx.query")
 	reg.Counter("eval.approx.queries").Inc()
 	res := a.run()
-	span.End()
+	// Keep the full latency distribution alongside the phase timer so
+	// snapshots can report p50/p95/p99 (see Histogram.Quantile).
+	reg.Histogram("eval.approx.latency_seconds").Observe(span.End().Seconds())
 	if res.Empty {
 		reg.Counter("eval.approx.empty").Inc()
 	}

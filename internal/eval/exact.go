@@ -27,8 +27,13 @@ type ExactResult struct {
 // edges (from the query's return clause) may be empty.
 func Exact(ix *Index, q *query.Query) *ExactResult {
 	span := obs.StartSpan("eval.exact.query")
-	defer span.End()
 	reg := obs.Default()
+	// The span feeds the phase timer (count/total/extrema); the histogram
+	// additionally keeps the latency distribution so percentiles (p50/p95/
+	// p99) survive into snapshots for the bench harness.
+	defer func() {
+		reg.Histogram("eval.exact.latency_seconds").Observe(span.End().Seconds())
+	}()
 	reg.Counter("eval.exact.queries").Inc()
 	ev := newEvaluator(ix, q)
 	r := &ExactResult{ev: ev}

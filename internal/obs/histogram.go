@@ -131,3 +131,65 @@ func (h *Histogram) Mean() float64 {
 	}
 	return h.Sum() / float64(n)
 }
+
+// Quantile estimates the p-quantile (0 <= p <= 1) of the observations by
+// linear interpolation inside the log-2 bucket holding the target rank.
+// Bucket bounds are clamped to the observed Min and Max, so a histogram
+// with a single observation reports that value for every p, and the open
+// top bucket never inflates the estimate past the largest value actually
+// seen. Returns 0 when the histogram is empty; p is clamped to [0, 1].
+func (h *Histogram) Quantile(p float64) float64 {
+	n := h.count.Load()
+	if n == 0 || math.IsNaN(p) {
+		return 0
+	}
+	counts := make([]int64, histNumBuckets)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return quantileFromBuckets(p, n, h.Min(), h.Max(), func(i int) (lo, hi float64, c int64) {
+		lo, hi = bucketBounds(i)
+		return lo, hi, counts[i]
+	}, histNumBuckets)
+}
+
+// quantileFromBuckets walks numBuckets buckets (via the accessor) in value
+// order and interpolates the p-quantile of n observations whose global
+// extrema are min and max. Shared by the live Histogram and the serialized
+// HistogramSnapshot so both report identical percentiles.
+func quantileFromBuckets(p float64, n int64, min, max float64, bucket func(i int) (lo, hi float64, c int64), numBuckets int) float64 {
+	if p <= 0 {
+		return min
+	}
+	if p >= 1 {
+		return max
+	}
+	rank := p * float64(n) // target cumulative count, in (0, n)
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		lo, hi, c := bucket(i)
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		// Clamp the bucket's nominal bounds to the observed extrema:
+		// the first and last non-empty buckets are only partially
+		// covered, and bucket 0 (zero/negative observations) has the
+		// degenerate nominal range [0, 0).
+		if lo < min {
+			lo = min
+		}
+		if hi > max {
+			hi = max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return max
+}

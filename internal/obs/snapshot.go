@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -42,6 +43,28 @@ type HistBucket struct {
 	Count int64   `json:"count"`
 }
 
+// Quantile estimates the p-quantile of the snapshotted distribution with
+// the same interpolation as Histogram.Quantile, so percentiles can be
+// recomputed from serialized snapshots (e.g. a benchmark baseline file)
+// without the live histogram.
+func (hs HistogramSnapshot) Quantile(p float64) float64 {
+	if hs.Count == 0 || math.IsNaN(p) {
+		return 0
+	}
+	return quantileFromBuckets(p, hs.Count, hs.Min, hs.Max, func(i int) (lo, hi float64, c int64) {
+		b := hs.Buckets[i]
+		return b.Lo, b.Hi, b.Count
+	}, len(hs.Buckets))
+}
+
+// Mean returns the arithmetic mean of the snapshotted observations.
+func (hs HistogramSnapshot) Mean() float64 {
+	if hs.Count == 0 {
+		return 0
+	}
+	return hs.Sum / float64(hs.Count)
+}
+
 // Snapshot copies the registry's current state.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
@@ -77,6 +100,14 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	return s
+}
+
+// Snapshot copies the histogram's current state into its serializable
+// form. It is the accessor embedding code (the bench harness, metric
+// sidecars) uses to freeze one histogram without snapshotting a whole
+// registry.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return snapshotHistogram(h)
 }
 
 func snapshotHistogram(h *Histogram) HistogramSnapshot {

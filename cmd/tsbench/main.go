@@ -12,6 +12,12 @@
 //	tsbench -compare BENCH_treesketch.json new.json
 //	tsbench -compare BENCH_treesketch.json new.json -gate -slack 5
 //
+// Verify build determinism (bit-identical synopses at any parallelism):
+//
+//	tsbench -quick -determinism                 # in-process Workers=1 vs N
+//	GOMAXPROCS=1 tsbench -quick -determinism > a
+//	GOMAXPROCS=4 tsbench -quick -determinism > b && diff a b
+//
 // Runs are seeded (default seed 1) and bit-reproducible in their accuracy
 // metrics; timing metrics carry per-metric noise thresholds that -slack
 // multiplies for noisy CI hardware. See README "Benchmarking" and DESIGN
@@ -41,6 +47,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "compare two result files: tsbench -compare old.json new.json")
 		gate     = flag.Bool("gate", false, "with -compare: exit nonzero when any metric regresses beyond threshold")
 		slack    = flag.Float64("slack", 1, "with -compare: multiply every noise threshold (use >1 on noisy runners)")
+		determ   = flag.Bool("determinism", false, "instead of benchmarking, print per-cell synopsis fingerprints and verify Workers=1 matches Workers=GOMAXPROCS; diff the output across GOMAXPROCS settings to check cross-core determinism")
 	)
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -94,6 +101,13 @@ func main() {
 		cfg.WorkloadSize = *workload
 	}
 	cfg.Out = os.Stdout
+
+	if *determ {
+		if err := bench.Determinism(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	res, err := bench.Run(cfg)
 	if err != nil {

@@ -151,13 +151,7 @@ func Run(cfg Config) (*Result, error) {
 		Config:        cfg,
 		Benchmarks:    make(map[string]Metrics),
 	}
-	r := exp.NewRunner(exp.Config{
-		TXScale:      cfg.Scale,
-		LargeScale:   cfg.Scale,
-		WorkloadSize: cfg.WorkloadSize,
-		BudgetsKB:    cfg.BudgetsKB,
-		Seed:         cfg.Seed,
-	})
+	r := newRunner(cfg)
 	for _, ds := range cfg.Datasets {
 		if err := benchDataset(res, r, reg, cfg, ds); err != nil {
 			return nil, err
@@ -166,6 +160,18 @@ func Run(cfg Config) (*Result, error) {
 	res.Obs = reg.Snapshot()
 	res.CreatedUnix = time.Now().Unix()
 	return res, nil
+}
+
+// newRunner builds the exp Runner every leg shares: same documents,
+// workloads, and ground truth as the experiment suite.
+func newRunner(cfg Config) *exp.Runner {
+	return exp.NewRunner(exp.Config{
+		TXScale:      cfg.Scale,
+		LargeScale:   cfg.Scale,
+		WorkloadSize: cfg.WorkloadSize,
+		BudgetsKB:    cfg.BudgetsKB,
+		Seed:         cfg.Seed,
+	})
 }
 
 // benchDataset runs the build, sketch, and eval legs for one dataset.
@@ -232,6 +238,10 @@ func benchDataset(res *Result, r *exp.Runner, reg *obs.Registry, cfg Config, ds 
 			"tsbuild_merges":            float64(stats.Merges),
 			"final_bytes":               float64(stats.FinalBytes),
 			"final_nodes":               float64(stats.FinalNodes),
+			"build.reevals":             float64(stats.Reevals),
+			"build.pool_rebuilds":       float64(stats.PoolRebuilds),
+			"build.pool_truncated":      float64(stats.PoolTruncated),
+			"build.stale_pops":          float64(stats.StalePops),
 			"phase_create_pool_seconds": after["tsbuild.createPool"] - before["tsbuild.createPool"],
 			"phase_merge_loop_seconds":  after["tsbuild.mergeLoop"] - before["tsbuild.mergeLoop"],
 			"phase_compact_seconds":     after["tsbuild.compact"] - before["tsbuild.compact"],

@@ -61,8 +61,11 @@ const (
 	// threshold; fails the gate.
 	StatusRegressed Status = "REGRESSED"
 	// StatusMissing: the baseline has this metric but the current run does
-	// not; fails the gate (lost coverage).
-	StatusMissing Status = "MISSING"
+	// not. Informational: metrics come and go as instrumentation evolves,
+	// and a comparison between builds with different metric sets should
+	// gate on the metrics they share. The lost coverage is surfaced as a
+	// warning instead.
+	StatusMissing Status = "missing"
 	// StatusNew: the current run has this metric but the baseline does
 	// not; informational.
 	StatusNew Status = "new"
@@ -89,7 +92,7 @@ type DeltaRow struct {
 // Comparison is the full delta between two benchmark results.
 type Comparison struct {
 	Rows        []DeltaRow
-	Regressions []DeltaRow // rows with StatusRegressed or StatusMissing
+	Regressions []DeltaRow // rows with StatusRegressed
 	Warnings    []string
 }
 
@@ -140,19 +143,27 @@ func Compare(base, cur *Result, slack float64) *Comparison {
 		bm := base.Benchmarks[bname]
 		cm, ok := cur.Benchmarks[bname]
 		if !ok {
+			c.Warnings = append(c.Warnings, fmt.Sprintf(
+				"benchmark %s is in the baseline but not the current run", bname))
 			for _, metric := range sortedKeys(bm) {
-				row := DeltaRow{Benchmark: bname, Metric: metric, Old: bm[metric], New: math.NaN(), Delta: math.NaN(), Status: StatusMissing}
-				c.Rows = append(c.Rows, row)
-				c.Regressions = append(c.Regressions, row)
+				c.Rows = append(c.Rows, DeltaRow{Benchmark: bname, Metric: metric, Old: bm[metric], New: math.NaN(), Delta: math.NaN(), Status: StatusMissing})
 			}
 			continue
 		}
+		missing := 0
 		for _, metric := range sortedKeys(bm) {
 			row := compareMetric(bname, metric, bm[metric], cm, slack)
 			c.Rows = append(c.Rows, row)
-			if row.Status == StatusRegressed || row.Status == StatusMissing {
+			switch row.Status {
+			case StatusRegressed:
 				c.Regressions = append(c.Regressions, row)
+			case StatusMissing:
+				missing++
 			}
+		}
+		if missing > 0 {
+			c.Warnings = append(c.Warnings, fmt.Sprintf(
+				"benchmark %s: %d baseline metric(s) absent from the current run", bname, missing))
 		}
 		for _, metric := range sortedKeys(cm) {
 			if _, ok := bm[metric]; !ok {
@@ -224,10 +235,6 @@ func (c *Comparison) Gate() error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d metric(s) failed the regression gate:", len(c.Regressions))
 	for _, r := range c.Regressions {
-		if r.Status == StatusMissing {
-			fmt.Fprintf(&b, "\n  %s %s: present in baseline, missing from current run", r.Benchmark, r.Metric)
-			continue
-		}
 		fmt.Fprintf(&b, "\n  %s %s: %.4g -> %.4g (%+.1f%%, threshold ±%.0f%%)",
 			r.Benchmark, r.Metric, r.Old, r.New, 100*r.Delta, 100*r.Threshold)
 	}

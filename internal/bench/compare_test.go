@@ -147,18 +147,53 @@ func TestCompareImprovementPasses(t *testing.T) {
 	}
 }
 
-func TestCompareMissingBenchmarkInCurrentFailsGate(t *testing.T) {
+func TestCompareMissingBenchmarkInCurrentIsInformational(t *testing.T) {
 	base := baseResult()
 	cur := clone(base)
 	delete(cur.Benchmarks, "eval/XMark-TX/10kb")
 	c := Compare(base, cur, 1)
-	if err := c.Gate(); err == nil {
-		t.Fatal("missing benchmark passed the gate")
+	if err := c.Gate(); err != nil {
+		t.Fatalf("missing benchmark failed the gate: %v", err)
 	}
-	for _, r := range c.Regressions {
-		if r.Status != StatusMissing {
-			t.Errorf("expected only MISSING regressions, got %+v", r)
+	var sawMissing bool
+	for _, r := range c.Rows {
+		if r.Benchmark == "eval/XMark-TX/10kb" && r.Status == StatusMissing {
+			sawMissing = true
 		}
+	}
+	if !sawMissing {
+		t.Error("dropped benchmark not reported as missing")
+	}
+	var warned bool
+	for _, w := range c.Warnings {
+		if strings.Contains(w, "eval/XMark-TX/10kb") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("lost coverage not surfaced as a warning: %v", c.Warnings)
+	}
+}
+
+func TestCompareMissingMetricIsInformational(t *testing.T) {
+	base := baseResult()
+	cur := clone(base)
+	delete(cur.Benchmarks["eval/XMark-TX/10kb"], "approx_p50_seconds")
+	c := Compare(base, cur, 1)
+	if err := c.Gate(); err != nil {
+		t.Fatalf("missing metric failed the gate: %v", err)
+	}
+	var sawMissing bool
+	for _, r := range c.Rows {
+		if r.Metric == "approx_p50_seconds" && r.Status == StatusMissing {
+			sawMissing = true
+		}
+	}
+	if !sawMissing {
+		t.Error("dropped metric not reported as missing")
+	}
+	if len(c.Warnings) == 0 {
+		t.Error("lost metric coverage not surfaced as a warning")
 	}
 }
 

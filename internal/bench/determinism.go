@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"treesketch/internal/obs"
+	"treesketch/internal/tsbuild"
+)
+
+// Determinism builds every (dataset, budget) cell of the config's grid
+// twice — once with a single evaluation worker and once with one worker per
+// CPU — and verifies the two synopses are bit-identical via
+// sketch.Fingerprint. It writes one stable line per cell,
+//
+//	determinism sketch/<dataset>/<budget>kb fp=<hex>
+//
+// so runs of the same seed under different GOMAXPROCS settings can be
+// diffed textually: CI runs the check under GOMAXPROCS=1 and GOMAXPROCS=4
+// and requires identical output. Returns an error on the first in-process
+// mismatch.
+func Determinism(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	r := newRunner(cfg)
+	for _, ds := range cfg.Datasets {
+		st := r.Stable(ds)
+		for _, budgetKB := range cfg.BudgetsKB {
+			var fps [2]uint64
+			for i, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+				sk, _ := tsbuild.Build(st, tsbuild.Options{
+					BudgetBytes: budgetKB * 1024,
+					Workers:     workers,
+					Metrics:     obs.NewRegistry(),
+				})
+				fps[i] = sk.Fingerprint()
+			}
+			cell := fmt.Sprintf("sketch/%s/%02dkb", ds, budgetKB)
+			if fps[0] != fps[1] {
+				return fmt.Errorf("bench: %s: Workers=1 fingerprint %016x != Workers=%d fingerprint %016x",
+					cell, fps[0], runtime.GOMAXPROCS(0), fps[1])
+			}
+			if w != nil {
+				if _, err := fmt.Fprintf(w, "determinism %s fp=%016x\n", cell, fps[0]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

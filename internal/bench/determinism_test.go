@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDeterminismCheck runs the fingerprint check on a tiny grid: it must
+// pass (Workers=1 and Workers=N builds agree), emit one stable line per
+// cell, and reproduce the same output when run again.
+func TestDeterminismCheck(t *testing.T) {
+	cfg := Config{
+		Datasets:     []string{"XMark-TX"},
+		BudgetsKB:    []int{2, 3},
+		Scale:        4000,
+		WorkloadSize: 1,
+		Quick:        true,
+	}
+	var a, b bytes.Buffer
+	if err := Determinism(cfg, &a); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d output lines, want 2:\n%s", len(lines), a.String())
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "determinism sketch/XMark-TX/") || !strings.Contains(line, " fp=") {
+			t.Fatalf("malformed determinism line %q", line)
+		}
+	}
+	if err := Determinism(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("repeated check output differs:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

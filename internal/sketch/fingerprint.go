@@ -1,0 +1,55 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a 64-bit FNV-1a hash of the synopsis' canonical byte
+// serialization: nodes in ID order with label, count, depth, member list,
+// and edges with the exact IEEE-754 bit patterns of their sufficient
+// statistics. Two synopses have equal fingerprints iff they are
+// structurally identical with bit-identical statistics, which is the
+// property the TSBuild determinism checks assert across worker counts and
+// GOMAXPROCS settings. Tombstoned entries hash as explicit markers, so a
+// compacted synopsis and its uncompacted origin fingerprint differently;
+// compare compacted synopses.
+func (s *Sketch) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	wFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	wInt(s.Root)
+	wInt(len(s.Nodes))
+	for _, n := range s.Nodes {
+		if n == nil {
+			wInt(-1)
+			continue
+		}
+		wInt(n.ID)
+		wInt(len(n.Label))
+		h.Write([]byte(n.Label))
+		wInt(n.Count)
+		wInt(n.Depth)
+		wInt(len(n.Members))
+		for _, m := range n.Members {
+			wInt(m)
+		}
+		wInt(len(n.Edges))
+		for _, e := range n.Edges {
+			wInt(e.Child)
+			wFloat(e.Avg)
+			wFloat(e.Sum)
+			wFloat(e.SumSq)
+			wFloat(e.MinK)
+		}
+	}
+	return h.Sum64()
+}

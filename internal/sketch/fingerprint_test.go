@@ -1,0 +1,60 @@
+package sketch
+
+import (
+	"testing"
+
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+func TestFingerprintDistinguishesStatChanges(t *testing.T) {
+	st := stable.Build(xmltree.MustCompact("r(a(x),a(x,x),b(y))"))
+	sk := FromStable(st)
+	fp := sk.Fingerprint()
+	if fp2 := FromStable(st).Fingerprint(); fp2 != fp {
+		t.Fatalf("identical sketches fingerprint differently: %#x != %#x", fp, fp2)
+	}
+	mut := FromStable(st)
+	for _, n := range mut.Nodes {
+		if len(n.Edges) > 0 {
+			n.Edges[0].SumSq += 1e-9 // a bit-level stat change must be visible
+			break
+		}
+	}
+	if mut.Fingerprint() == fp {
+		t.Fatal("fingerprint ignored an edge statistic change")
+	}
+	lab := FromStable(st)
+	lab.Nodes[len(lab.Nodes)-1].Label += "!"
+	if lab.Fingerprint() == fp {
+		t.Fatal("fingerprint ignored a label change")
+	}
+}
+
+func TestFingerprintSeesTombstones(t *testing.T) {
+	st := stable.Build(xmltree.MustCompact("r(a(x),b(y))"))
+	sk := FromStable(st)
+	fp := sk.Fingerprint()
+	var victim int
+	for _, n := range sk.Nodes {
+		if n != nil && n.Label == "x" {
+			victim = n.ID
+		}
+	}
+	// Tombstone a leaf (and drop the edge into it to keep the graph sane).
+	sk.Nodes[victim] = nil
+	for _, n := range sk.Nodes {
+		if n == nil {
+			continue
+		}
+		for i, e := range n.Edges {
+			if e.Child == victim {
+				n.Edges = append(n.Edges[:i], n.Edges[i+1:]...)
+				break
+			}
+		}
+	}
+	if sk.Fingerprint() == fp {
+		t.Fatal("fingerprint ignored a tombstoned node")
+	}
+}

@@ -87,6 +87,12 @@ func (n *Node) EdgeTo(child int) (Edge, bool) {
 // Sketch is a TreeSketch synopsis. Nodes is indexed by node ID; entries may
 // be nil while a construction algorithm is merging (tombstones). Compact
 // renumbers the survivors.
+//
+// A Sketch has no internal synchronization. All methods are read-only and
+// safe for concurrent use as long as no goroutine mutates the synopsis;
+// construction algorithms that evaluate candidates in parallel (tsbuild)
+// freeze the structure during each evaluation batch and confine mutation
+// to a single goroutine between batches.
 type Sketch struct {
 	Nodes []*Node
 	Root  int

@@ -1,0 +1,388 @@
+package tsbuild
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"treesketch/internal/sketch"
+)
+
+// evalResult is the outcome of scoring one candidate merge against a frozen
+// builder state.
+type evalResult struct {
+	errd  float64
+	sized int
+	ok    bool // admissible merge
+	cycle bool // rejected because it would create a cycle
+}
+
+// evalCtx holds the per-worker scratch buffers that make candidate
+// evaluation allocation-free: epoch-stamped dense accumulators for the
+// sufficient statistics of a hypothetical merged cluster, a visited array
+// for reachability checks, and reusable member/parent buffers. Evaluation
+// through a context reads the builder's synopsis, cluster assignment, and
+// parent index but never writes them, so any number of contexts may
+// evaluate concurrently between merges; all mutation happens in the
+// sequential apply path.
+//
+// Epoch stamping replaces map allocation: each array cell carries the epoch
+// at which it was last written, and bumping the epoch invalidates every
+// cell in O(1). The accumulator values are folded in ascending member order
+// exactly as the map-based implementation did, so results are bit-identical
+// to sequential evaluation.
+type evalCtx struct {
+	b *builder
+
+	// Reachability scratch (dense over synopsis node IDs).
+	visited []int64
+	vepoch  int64
+	stack   []int
+
+	// Per-target cluster accumulators for gather.
+	tmark   []int64
+	tepoch  int64
+	targets []int
+	sum     []float64
+	sumSq   []float64
+	minK    []int
+	covered []int
+
+	// Per-member child-count scratch (k summed over a member's stable edges
+	// into one target cluster).
+	kmark  []int64
+	kepoch int64
+	kval   []int
+
+	// Reusable buffers for merged member lists and parent unions.
+	members []int
+	parbuf  []int
+}
+
+func newEvalCtx(b *builder) *evalCtx {
+	c := &evalCtx{b: b}
+	c.ensure()
+	return c
+}
+
+// ensure grows the dense arrays to cover every current node ID. Merges
+// append nodes, so capacity only ever grows.
+func (c *evalCtx) ensure() {
+	n := len(c.b.sk.Nodes)
+	if len(c.visited) >= n {
+		return
+	}
+	grow := n + n/4
+	next := make([]int64, grow)
+	copy(next, c.visited)
+	c.visited = next
+	next = make([]int64, grow)
+	copy(next, c.tmark)
+	c.tmark = next
+	next = make([]int64, grow)
+	copy(next, c.kmark)
+	c.kmark = next
+	nf := make([]float64, grow)
+	copy(nf, c.sum)
+	c.sum = nf
+	nf = make([]float64, grow)
+	copy(nf, c.sumSq)
+	c.sumSq = nf
+	ni := make([]int, grow)
+	copy(ni, c.minK)
+	c.minK = ni
+	ni = make([]int, grow)
+	copy(ni, c.covered)
+	c.covered = ni
+	ni = make([]int, grow)
+	copy(ni, c.kval)
+	c.kval = ni
+}
+
+// reaches reports whether to is reachable from from along synopsis edges.
+// Semantics match sketch.Reaches; the epoch-stamped visited array avoids
+// the per-call map allocation that dominated the original profile.
+func (c *evalCtx) reaches(from, to int) bool {
+	if from == to {
+		return true
+	}
+	c.ensure()
+	c.vepoch++
+	sk := c.b.sk
+	c.stack = append(c.stack[:0], from)
+	for len(c.stack) > 0 {
+		id := c.stack[len(c.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
+		u := sk.Nodes[id]
+		if u == nil {
+			continue
+		}
+		for _, e := range u.Edges {
+			if e.Child == to {
+				return true
+			}
+			if c.visited[e.Child] != c.vepoch {
+				c.visited[e.Child] = c.vepoch
+				c.stack = append(c.stack, e.Child)
+			}
+		}
+	}
+	return false
+}
+
+// gather computes the extent count, max depth, and per-target sufficient
+// statistics of a hypothetical cluster made of the given stable classes
+// under the current cluster assignment, leaving the per-target values in
+// the context's dense accumulators with c.targets listing the touched
+// target IDs in ascending order. Cost is linear in the stable edges of the
+// members, with no allocation.
+func (c *evalCtx) gather(members []int) (count, depth int) {
+	c.ensure()
+	c.tepoch++
+	c.targets = c.targets[:0]
+	b := c.b
+	for _, sid := range members {
+		sn := b.st.Nodes[sid]
+		count += sn.Count
+		if d := sn.Depth(); d > depth {
+			depth = d
+		}
+		// First pass: total child count k per target cluster for this member.
+		c.kepoch++
+		for _, e := range sn.Edges {
+			t := b.clusterOf[e.Child]
+			if c.kmark[t] != c.kepoch {
+				c.kmark[t] = c.kepoch
+				c.kval[t] = 0
+			}
+			c.kval[t] += e.K
+		}
+		// Second pass: fold this member's k into the cluster accumulators.
+		cf := float64(sn.Count)
+		for _, e := range sn.Edges {
+			t := b.clusterOf[e.Child]
+			if c.kmark[t] != c.kepoch {
+				continue // already folded for this member
+			}
+			c.kmark[t] = c.kepoch - 1 // consume the stamp
+			k := c.kval[t]
+			if c.tmark[t] != c.tepoch {
+				c.tmark[t] = c.tepoch
+				c.targets = append(c.targets, t)
+				c.sum[t], c.sumSq[t] = 0, 0
+				c.minK[t] = k
+				c.covered[t] = 0
+			}
+			kf := float64(k)
+			c.sum[t] += kf * cf
+			c.sumSq[t] += kf * kf * cf
+			if k < c.minK[t] {
+				c.minK[t] = k
+			}
+			c.covered[t]++
+		}
+	}
+	sort.Ints(c.targets)
+	return count, depth
+}
+
+// gatheredSqW sums the squared clustering error over the gathered targets
+// in ascending target order (the same order the map-based implementation
+// summed its sorted edge list, keeping the float result bit-identical).
+func (c *evalCtx) gatheredSqW(count int) float64 {
+	fc := float64(count)
+	var sqW float64
+	for _, t := range c.targets {
+		sqW += c.sumSq[t] - c.sum[t]*c.sum[t]/fc
+	}
+	return sqW
+}
+
+// gatheredEdges materializes the gathered accumulators as a sorted edge
+// slice; used by the apply path, which stores the result in the new node.
+func (c *evalCtx) gatheredEdges(nMembers, count int) []sketch.Edge {
+	edges := make([]sketch.Edge, 0, len(c.targets))
+	for _, t := range c.targets {
+		mk := float64(c.minK[t])
+		if c.covered[t] < nMembers {
+			mk = 0 // some member class has no children in the target
+		}
+		edges = append(edges, sketch.Edge{
+			Child: t,
+			Avg:   c.sum[t] / float64(count),
+			Sum:   c.sum[t],
+			SumSq: c.sumSq[t],
+			MinK:  mk,
+		})
+	}
+	return edges
+}
+
+// mergedMembers merges two ascending member lists into the context buffer.
+func (c *evalCtx) mergedMembers(a, b []int) []int {
+	c.members = c.members[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			c.members = append(c.members, a[i])
+			i++
+		} else {
+			c.members = append(c.members, b[j])
+			j++
+		}
+	}
+	c.members = append(c.members, a[i:]...)
+	c.members = append(c.members, b[j:]...)
+	return c.members
+}
+
+// unionParents merges the (sorted) parent lists of x and y into the context
+// buffer, ascending and deduplicated, excluding x and y themselves.
+func (c *evalCtx) unionParents(x, y int) []int {
+	px, py := c.b.parents[x], c.b.parents[y]
+	c.parbuf = c.parbuf[:0]
+	i, j := 0, 0
+	push := func(p int) {
+		if p == x || p == y {
+			return
+		}
+		if n := len(c.parbuf); n > 0 && c.parbuf[n-1] == p {
+			return
+		}
+		c.parbuf = append(c.parbuf, p)
+	}
+	for i < len(px) && j < len(py) {
+		switch {
+		case px[i] < py[j]:
+			push(px[i])
+			i++
+		case px[i] > py[j]:
+			push(py[j])
+			j++
+		default:
+			push(px[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(px); i++ {
+		push(px[i])
+	}
+	for ; j < len(py); j++ {
+		push(py[j])
+	}
+	return c.parbuf
+}
+
+// evaluate computes errd and sized for merging live nodes x and y. It is
+// read-only with respect to the builder — all intermediate state lives in
+// the context — and float operations replay the exact accumulation order of
+// the original sequential implementation, so concurrent evaluation through
+// per-worker contexts yields bit-identical results.
+func (c *evalCtx) evaluate(x, y int) evalResult {
+	b := c.b
+	nx, ny := b.sk.Nodes[x], b.sk.Nodes[y]
+	if x == b.sk.Root || y == b.sk.Root {
+		return evalResult{}
+	}
+	if c.reaches(x, y) || c.reaches(y, x) {
+		return evalResult{cycle: true}
+	}
+
+	members := c.mergedMembers(nx.Members, ny.Members)
+	count, _ := c.gather(members)
+	sqW := c.gatheredSqW(count)
+	nTargets := len(c.targets)
+	delta := sqW - nx.SqErr() - ny.SqErr()
+
+	// Parent side: edges p->x and p->y fuse into p->w. Parents iterate in
+	// ascending order so floating-point accumulation is deterministic.
+	dupIn := 0
+	for _, p := range c.unionParents(x, y) {
+		pn := b.sk.Nodes[p]
+		var oldSq float64
+		hasBoth := 0
+		if e, found := pn.EdgeTo(x); found {
+			oldSq += edgeSq(e, pn.Count)
+			hasBoth++
+		}
+		if e, found := pn.EdgeTo(y); found {
+			oldSq += edgeSq(e, pn.Count)
+			hasBoth++
+		}
+		if hasBoth == 2 {
+			dupIn++
+		}
+		sum, sumSq, _ := b.combinedEdgeStats(pn.Members, x, y)
+		newSq := sumSq - sum*sum/float64(pn.Count)
+		delta += newSq - oldSq
+	}
+
+	dupOut := len(nx.Edges) + len(ny.Edges) - nTargets
+	sized := sketch.NodeBytes + sketch.EdgeBytes*(dupOut+dupIn)
+	if delta < 0 {
+		delta = 0 // numeric noise; coarsening never reduces squared error
+	}
+	return evalResult{errd: delta, sized: sized, ok: true}
+}
+
+// parallelEvalThreshold is the batch size below which the fan-out overhead
+// of spawning workers exceeds the evaluation work itself.
+const parallelEvalThreshold = 32
+
+// evalPairs scores a batch of candidate pairs, fanning out across the
+// builder's worker contexts when the batch is large enough. Results are
+// indexed 1:1 with pairs, each computed purely from the pair and the frozen
+// builder state, so the reduction is order-independent: the returned slice
+// is identical at any GOMAXPROCS. Telemetry counters fold in afterwards, in
+// slice order, keeping them deterministic too.
+func (b *builder) evalPairs(pairs []opKey) []evalResult {
+	res := make([]evalResult, len(pairs))
+	n := len(pairs)
+	if len(b.ctxs) <= 1 || n < parallelEvalThreshold {
+		c := b.ctxs[0]
+		for i, k := range pairs {
+			res[i] = c.evaluate(k[0], k[1])
+		}
+	} else {
+		workers := len(b.ctxs)
+		if workers > n {
+			workers = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			c := b.ctxs[w]
+			wg.Add(1)
+			go func(c *evalCtx) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					k := pairs[i]
+					res[i] = c.evaluate(k[0], k[1])
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.pairEvals += n
+	for _, r := range res {
+		if r.cycle {
+			b.cycleRejects++
+		}
+	}
+	return res
+}
+
+// workerCount resolves the Options.Workers default: one evaluation context
+// per available CPU.
+func workerCount(opt int) int {
+	if opt > 0 {
+		return opt
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -10,6 +10,21 @@
 // sufficient statistics for merged clusters are recomputed exactly from the
 // retained count-stable summary, mirroring the paper's remark that the
 // algorithm accesses "only the relevant parts of the count-stable summary".
+//
+// The pool is maintained incrementally: after a merge, only candidates in
+// the merged node's neighborhood are rewritten or re-evaluated — no per-merge
+// rebuilds. When the pool drains to Lh with budget remaining it is restocked
+// either by the paper's full CreatePool regenerate (the default, preserving
+// the paper trajectory bit-for-bit) or by an incremental replenish over
+// newly created nodes (Options.IncrementalRefill). Candidate evaluation is
+// pure with respect to
+// the builder state and fans out over a worker pool (Options.Workers):
+// each evaluation replays the exact floating-point accumulation order of
+// the sequential implementation, candidates are enumerated in fully sorted
+// order (labels, depth levels, node IDs — never map iteration order), and
+// every pool or heap mutation happens in the sequential reduction of a
+// deterministically ordered batch. Equal seeds therefore produce
+// bit-identical synopses at any worker count or GOMAXPROCS.
 package tsbuild
 
 import (
@@ -33,9 +48,25 @@ type Options struct {
 	// HeapUpper is Uh, the maximum number of candidate merge operations the
 	// pool may hold. Defaults to 10000.
 	HeapUpper int
-	// HeapLower is Lh: when the pool shrinks below this bound (and the
-	// budget is not yet met) the pool is regenerated. Defaults to 100.
+	// HeapLower is Lh from Figure 5: when the pool shrinks below this bound
+	// (and the budget is not yet met) the paper regenerates it with a full
+	// CreatePool pass. That regenerate is kept as the default — it is now a
+	// parallel batch evaluation, and it re-enumerates levels the bounded
+	// first pass skipped — so builds reproduce the paper trajectory
+	// bit-for-bit. Set IncrementalRefill to replace it with a cheaper
+	// incremental replenish. Defaults to 100.
 	HeapLower int
+	// IncrementalRefill replaces the full CreatePool regenerate at the Lh
+	// trigger with a replenish step that enumerates only pairs involving
+	// nodes created by merges since the pool was last stocked — the one
+	// class of candidates that rewriting inherited operations cannot
+	// produce. This skips the rebuild cost but can follow a slightly
+	// different merge trajectory than the paper's algorithm, because a full
+	// regenerate also rediscovers pairs the bounded pool evicted or never
+	// enumerated. Builds remain deterministic for any Workers setting
+	// either way. A full rebuild still happens when the pool drains
+	// completely with budget remaining.
+	IncrementalRefill bool
 	// GroupCap bounds the size of a (label, depth-prefix) group for which
 	// all candidate pairs are enumerated. Larger groups are sorted by a
 	// structural feature and paired within a sliding window of PairWindow
@@ -46,8 +77,15 @@ type Options struct {
 	// to 16.
 	PairWindow int
 	// MaxPairEvals caps the number of candidate evaluations per CreatePool
-	// invocation. Defaults to 200000.
+	// invocation. When the cap fires the truncation is reported through
+	// Stats.PoolTruncated and the tsbuild.pool.truncated counter — never
+	// silently. Defaults to 200000.
 	MaxPairEvals int
+	// Workers is the number of parallel candidate-evaluation workers.
+	// Zero selects runtime.GOMAXPROCS(0). The build result is identical
+	// for every value: evaluations are pure and all reductions are
+	// order-independent.
+	Workers int
 	// Progress, when non-nil, receives construction milestones: one event
 	// after every pool build, one every ProgressEvery merges, and a final
 	// event when construction stops. Long builds are otherwise silent.
@@ -127,6 +165,23 @@ type Stats struct {
 	HeapPushes    int
 	HeapEvictions int
 	MaxHeapSize   int
+
+	// Incremental-pool telemetry. Reevals counts candidate evaluations
+	// performed after the initial pool construction — neighborhood rewrites
+	// after a merge plus lazy re-evaluation of dirty candidates — i.e. the
+	// work the incremental maintenance does instead of full rebuilds.
+	// PoolReplenishes counts incremental restocks of a depleted pool (the
+	// Lh trigger, under Options.IncrementalRefill). PoolRebuilds counts
+	// CreatePool invocations beyond the first (PoolBuilds - 1).
+	// PoolTruncated counts CreatePool or replenish passes that hit the
+	// MaxPairEvals cap and dropped candidate pairs. StalePops counts heap
+	// entries discarded because their operation was superseded (merged
+	// endpoint or newer evaluation) after the entry was pushed.
+	Reevals         int
+	PoolReplenishes int
+	PoolRebuilds    int
+	PoolTruncated   int
+	StalePops       int
 }
 
 // Build compresses the count-stable summary st down to opts.BudgetBytes and
@@ -161,19 +216,38 @@ func Build(st *stable.Synopsis, opts Options) (*sketch.Sketch, Stats) {
 		n := b.createPool()
 		poolSpan.End()
 		stats.PoolBuilds++
+		if stats.PoolBuilds > 1 {
+			b.poolRebuilds++
+		}
 		if n == 0 {
 			break
 		}
 		progress(false)
-		// When the freshly built pool is already below Lh, drain it fully;
-		// otherwise stop at Lh and regenerate (Figure 5, line 5).
+		// Incremental maintenance (afterMerge) keeps the pool stocked with
+		// rewritten and re-scored candidates between merges. When it still
+		// shrinks to Lh: regenerate with a full CreatePool pass (Figure 5,
+		// line 5 — the default), or, under IncrementalRefill, replenish in
+		// place with pairs for the nodes merges created and keep draining.
 		lower := opts.HeapLower
 		if n <= lower {
 			lower = 0
 		}
 		progressed := false
 		mergeSpan := reg.StartSpan("tsbuild.mergeLoop")
-		for b.size > opts.BudgetBytes && len(b.ops) > lower {
+		for b.size > opts.BudgetBytes && len(b.ops) > 0 {
+			if len(b.ops) <= lower {
+				if !opts.IncrementalRefill {
+					break // regenerate via the outer CreatePool pass
+				}
+				replSpan := reg.StartSpan("tsbuild.replenishPool")
+				b.replenishPool()
+				replSpan.End()
+				progress(false)
+				lower = opts.HeapLower
+				if len(b.ops) <= lower {
+					lower = 0 // replenish found too little; drain to empty
+				}
+			}
 			if b.step() {
 				stats.Merges++
 				progressed = true
@@ -201,6 +275,11 @@ func Build(st *stable.Synopsis, opts Options) (*sketch.Sketch, Stats) {
 	stats.HeapPushes = b.heapPushes
 	stats.HeapEvictions = b.heapEvictions
 	stats.MaxHeapSize = b.maxHeapSize
+	stats.Reevals = b.reevals
+	stats.PoolReplenishes = b.poolReplenishes
+	stats.PoolRebuilds = b.poolRebuilds
+	stats.PoolTruncated = b.poolTruncated
+	stats.StalePops = b.stalePops
 	stats.Elapsed = time.Since(start)
 	stats.BudgetReached = stats.FinalBytes <= opts.BudgetBytes
 	progress(true)
@@ -215,11 +294,16 @@ func (b *builder) publish(reg *obs.Registry, stats Stats) {
 	reg.Counter("tsbuild.builds").Inc()
 	reg.Counter("tsbuild.merges").Add(int64(stats.Merges))
 	reg.Counter("tsbuild.pool.builds").Add(int64(stats.PoolBuilds))
+	reg.Counter("tsbuild.pool.rebuilds").Add(int64(stats.PoolRebuilds))
+	reg.Counter("tsbuild.pool.replenishes").Add(int64(stats.PoolReplenishes))
+	reg.Counter("tsbuild.pool.reevals").Add(int64(stats.Reevals))
+	reg.Counter("tsbuild.pool.truncated").Add(int64(stats.PoolTruncated))
 	reg.Counter("tsbuild.pool.pair_evals").Add(int64(stats.PairEvals))
 	reg.Counter("tsbuild.pool.cycle_rejects").Add(int64(stats.CycleRejects))
 	reg.Counter("tsbuild.pool.op_dupes").Add(int64(b.opDupes))
 	reg.Counter("tsbuild.heap.pushes").Add(int64(stats.HeapPushes))
 	reg.Counter("tsbuild.heap.evictions").Add(int64(stats.HeapEvictions))
+	reg.Counter("tsbuild.heap.stale_pops").Add(int64(stats.StalePops))
 	reg.Gauge("tsbuild.heap.max_size").SetMax(int64(stats.MaxHeapSize))
 	reg.Histogram("tsbuild.bytes_saved").Observe(float64(stats.InitialBytes - stats.FinalBytes))
 }
@@ -234,18 +318,23 @@ func keyOf(a, b int) opKey {
 	return opKey{a, b}
 }
 
-// op is a candidate merge operation with its current evaluation.
+// op is a candidate merge operation with its current evaluation. gen is the
+// generation at which the operation was last scored; heap entries carry the
+// generation they were pushed with, so a popped entry whose generation no
+// longer matches the registry is recognized as superseded.
 type op struct {
 	key   opKey
 	errd  float64
 	sized int
 	prio  float64 // errd/sized as pushed into the heap
+	gen   int64   // generation of the evaluation behind prio
 	dirty bool    // neighborhood changed since last evaluation
 }
 
 type heapEntry struct {
 	key  opKey
 	prio float64
+	gen  int64
 }
 
 type builder struct {
@@ -253,28 +342,52 @@ type builder struct {
 	sk   *sketch.Sketch
 	opts Options
 
-	clusterOf []int              // stable class ID -> live sketch node ID
-	parents   []map[int]struct{} // sketch node ID -> live parent IDs
-	size      int                // current SizeBytes, maintained incrementally
+	clusterOf []int   // stable class ID -> live sketch node ID
+	parents   [][]int // sketch node ID -> sorted live parent IDs
+	size      int     // current SizeBytes, maintained incrementally
 
+	// The merge-loop heap orders entries by float priority alone; among
+	// equal priorities pop order is a function of the push sequence. Every
+	// push happens in the sequential reduction of a deterministically
+	// ordered evaluation batch, so pop order — and hence the merge
+	// trajectory — is identical at any worker count.
 	ops     map[opKey]*op
 	nodeOps map[int][]opKey // node ID -> keys of ops referencing it
 	heap    container.MinHeap[heapEntry]
+	gen     int64 // monotonically increasing op generation
+
+	// Per-worker evaluation contexts; ctxs[0] doubles as the scratch space
+	// for the sequential apply path.
+	ctxs []*evalCtx
 
 	pairEvals    int
 	cycleRejects int
+
+	reevals         int
+	poolReplenishes int
+	poolRebuilds    int
+	poolTruncated   int
+	stalePops       int
+
+	// enumeratedTo marks the node-ID horizon of the last full or
+	// incremental pool enumeration; replenishPool only pairs nodes at or
+	// beyond it.
+	enumeratedTo int
 
 	heapPushes    int
 	heapEvictions int
 	maxHeapSize   int
 	opDupes       int
 	gainHist      *obs.Histogram
+
+	rewriteOthers []int   // scratch for afterMerge
+	rewritePairs  []opKey // scratch for afterMerge
 }
 
 // pushHeap wraps heap insertion with the telemetry the Stats heap fields
 // report.
-func (b *builder) pushHeap(prio float64, e heapEntry) {
-	b.heap.Push(prio, e)
+func (b *builder) pushHeap(e heapEntry) {
+	b.heap.Push(e.prio, e)
 	b.heapPushes++
 	if n := b.heap.Len(); n > b.maxHeapSize {
 		b.maxHeapSize = n
@@ -288,7 +401,7 @@ func newBuilder(st *stable.Synopsis, opts Options) *builder {
 		sk:        sk,
 		opts:      opts,
 		clusterOf: make([]int, len(st.Nodes)),
-		parents:   make([]map[int]struct{}, len(st.Nodes)),
+		parents:   make([][]int, len(st.Nodes)),
 		size:      sk.SizeBytes(),
 		ops:       make(map[opKey]*op),
 		nodeOps:   make(map[int][]opKey),
@@ -297,13 +410,15 @@ func newBuilder(st *stable.Synopsis, opts Options) *builder {
 	for i := range b.clusterOf {
 		b.clusterOf[i] = i
 	}
+	// Nodes iterate in ascending ID order, so each child's parent list is
+	// built already sorted.
 	for _, u := range sk.Nodes {
 		for _, e := range u.Edges {
-			if b.parents[e.Child] == nil {
-				b.parents[e.Child] = make(map[int]struct{})
-			}
-			b.parents[e.Child][u.ID] = struct{}{}
+			b.parents[e.Child] = append(b.parents[e.Child], u.ID)
 		}
+	}
+	for w := 0; w < workerCount(opts.Workers); w++ {
+		b.ctxs = append(b.ctxs, newEvalCtx(b))
 	}
 	return b
 }
@@ -312,67 +427,11 @@ func (b *builder) alive(id int) bool {
 	return id >= 0 && id < len(b.sk.Nodes) && b.sk.Nodes[id] != nil
 }
 
-// statsFor computes the exact extent count and per-target sufficient
-// statistics for a hypothetical cluster made of the given stable classes,
-// under the current cluster assignment. Cost is linear in the stable edges
-// of the members.
-func (b *builder) statsFor(members []int) (count int, edges []sketch.Edge, depth int) {
-	type acc struct {
-		sum, sumSq float64
-		minK       int
-		covered    int // members with at least one child in the target
-	}
-	accs := make(map[int]*acc)
-	perTarget := make(map[int]int)
-	for _, sid := range members {
-		sn := b.st.Nodes[sid]
-		count += sn.Count
-		if sn.Depth() > depth {
-			depth = sn.Depth()
-		}
-		for k := range perTarget {
-			delete(perTarget, k)
-		}
-		for _, e := range sn.Edges {
-			perTarget[b.clusterOf[e.Child]] += e.K
-		}
-		c := float64(sn.Count)
-		for target, k := range perTarget {
-			a := accs[target]
-			if a == nil {
-				a = &acc{minK: k}
-				accs[target] = a
-			}
-			kf := float64(k)
-			a.sum += kf * c
-			a.sumSq += kf * kf * c
-			if k < a.minK {
-				a.minK = k
-			}
-			a.covered++
-		}
-	}
-	edges = make([]sketch.Edge, 0, len(accs))
-	for target, a := range accs {
-		minK := float64(a.minK)
-		if a.covered < len(members) {
-			minK = 0 // some member class has no children in the target
-		}
-		edges = append(edges, sketch.Edge{
-			Child: target,
-			Avg:   a.sum / float64(count),
-			Sum:   a.sum,
-			SumSq: a.sumSq,
-			MinK:  minK,
-		})
-	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i].Child < edges[j].Child })
-	return count, edges, depth
-}
-
 // combinedEdgeStats computes the sufficient statistics of the single edge
 // from a cluster with the given stable members to the hypothetical union of
-// target clusters t1 and t2 (t2 < 0 means just t1).
+// target clusters t1 and t2 (t2 < 0 means just t1). It reads only immutable
+// stable-summary data and the cluster assignment, so concurrent evaluation
+// workers may call it freely between merges.
 func (b *builder) combinedEdgeStats(members []int, t1, t2 int) (sum, sumSq, minK float64) {
 	first := true
 	for _, sid := range members {
@@ -400,82 +459,6 @@ func (b *builder) combinedEdgeStats(members []int, t1, t2 int) (sum, sumSq, minK
 
 func edgeSq(e sketch.Edge, count int) float64 {
 	return e.SumSq - e.Sum*e.Sum/float64(count)
-}
-
-// evaluate computes errd and sized for merging live nodes x and y. ok is
-// false when the merge is inadmissible (cycle-creating or involving the
-// root cluster).
-func (b *builder) evaluate(x, y int) (errd float64, sized int, ok bool) {
-	b.pairEvals++
-	nx, ny := b.sk.Nodes[x], b.sk.Nodes[y]
-	if x == b.sk.Root || y == b.sk.Root {
-		return 0, 0, false
-	}
-	if b.sk.Reaches(x, y) || b.sk.Reaches(y, x) {
-		b.cycleRejects++
-		return 0, 0, false
-	}
-
-	members := mergeSorted(nx.Members, ny.Members)
-	count, edges, _ := b.statsFor(members)
-	var sqW float64
-	for _, e := range edges {
-		sqW += edgeSq(e, count)
-	}
-	delta := sqW - nx.SqErr() - ny.SqErr()
-
-	// Parent side: edges p->x and p->y fuse into p->w. Iterate parents in
-	// sorted order so floating-point accumulation is deterministic.
-	dupIn := 0
-	for _, p := range b.sortedUnionParents(x, y) {
-		pn := b.sk.Nodes[p]
-		var oldSq float64
-		hasBoth := 0
-		if e, found := pn.EdgeTo(x); found {
-			oldSq += edgeSq(e, pn.Count)
-			hasBoth++
-		}
-		if e, found := pn.EdgeTo(y); found {
-			oldSq += edgeSq(e, pn.Count)
-			hasBoth++
-		}
-		if hasBoth == 2 {
-			dupIn++
-		}
-		sum, sumSq, _ := b.combinedEdgeStats(pn.Members, x, y)
-		newSq := sumSq - sum*sum/float64(pn.Count)
-		delta += newSq - oldSq
-	}
-
-	dupOut := len(nx.Edges) + len(ny.Edges) - len(edges)
-	sized = sketch.NodeBytes + sketch.EdgeBytes*(dupOut+dupIn)
-	if delta < 0 {
-		delta = 0 // numeric noise; coarsening never reduces squared error
-	}
-	return delta, sized, true
-}
-
-func (b *builder) unionParents(x, y int) map[int]struct{} {
-	out := make(map[int]struct{}, len(b.parents[x])+len(b.parents[y]))
-	for p := range b.parents[x] {
-		out[p] = struct{}{}
-	}
-	for p := range b.parents[y] {
-		out[p] = struct{}{}
-	}
-	delete(out, x)
-	delete(out, y)
-	return out
-}
-
-func (b *builder) sortedUnionParents(x, y int) []int {
-	set := b.unionParents(x, y)
-	out := make([]int, 0, len(set))
-	for p := range set {
-		out = append(out, p)
-	}
-	sort.Ints(out)
-	return out
 }
 
 func mergeSorted(a, b []int) []int {
@@ -511,14 +494,16 @@ func (b *builder) apply(x, y int) int {
 	for _, sid := range members {
 		b.clusterOf[sid] = w.ID
 	}
-	w.Count, w.Edges, w.Depth = b.statsFor(members)
+	c := b.ctxs[0]
+	w.Count, w.Depth = c.gather(members)
+	w.Edges = c.gatheredEdges(len(members), w.Count)
 
 	removedEdges := len(nx.Edges) + len(ny.Edges)
 	addedEdges := len(w.Edges)
 
 	// Rewire parents: drop p->x and p->y, add p->w with exact stats.
-	pset := b.sortedUnionParents(x, y)
-	b.parents[w.ID] = make(map[int]struct{}, len(pset))
+	pset := append([]int(nil), c.unionParents(x, y)...)
+	b.parents[w.ID] = pset
 	for _, p := range pset {
 		pn := b.sk.Nodes[p]
 		kept := pn.Edges[:0]
@@ -530,25 +515,24 @@ func (b *builder) apply(x, y int) int {
 			kept = append(kept, e)
 		}
 		// clusterOf already maps the merged members to w, so the combined
-		// edge is measured directly against the new cluster.
+		// edge is measured directly against the new cluster. w has the
+		// maximum live ID, so appending keeps the edge list sorted.
 		sum, sumSq, minK := b.combinedEdgeStats(pn.Members, w.ID, -1)
 		kept = append(kept, sketch.Edge{Child: w.ID, Avg: sum / float64(pn.Count), Sum: sum, SumSq: sumSq, MinK: minK})
-		sort.Slice(kept, func(i, j int) bool { return kept[i].Child < kept[j].Child })
 		pn.Edges = kept
 		addedEdges++
-		b.parents[w.ID][p] = struct{}{}
 	}
 
-	// Children: their parent sets lose x and y and gain w.
+	// Children: their (sorted) parent lists lose x and y and gain w, which
+	// has the maximum ID, so filtering plus one append preserves order.
 	for _, e := range w.Edges {
-		ps := b.parents[e.Child]
-		if ps == nil {
-			ps = make(map[int]struct{})
-			b.parents[e.Child] = ps
+		ps := b.parents[e.Child][:0]
+		for _, p := range b.parents[e.Child] {
+			if p != x && p != y {
+				ps = append(ps, p)
+			}
 		}
-		delete(ps, x)
-		delete(ps, y)
-		ps[w.ID] = struct{}{}
+		b.parents[e.Child] = append(ps, w.ID)
 	}
 
 	b.sk.Nodes[x] = nil
@@ -562,6 +546,18 @@ func (b *builder) apply(x, y int) int {
 
 // step pops candidate operations until one can be applied; it returns false
 // when the pool is exhausted without an applicable merge.
+//
+// Stale heap entries are impossible to apply incorrectly by construction:
+// a candidate whose endpoint merged since the push was removed from the
+// registry by afterMerge, so its entry pops to a missing op and is
+// discarded; a candidate re-scored since the push carries an older
+// generation and a different priority, and is discarded too. The one
+// surviving duplicate case — a re-scored candidate whose fresh evaluation
+// produced the bit-identical priority — is safe to act on, because apply
+// always reads the registry's current errd/sized, never the heap entry's.
+// The priority comparison is exact: entry.prio is a copy of o.prio made at
+// push time, so equality means "same score", with no float arithmetic in
+// between.
 func (b *builder) step() bool {
 	for {
 		entry, ok := b.heap.PopMin()
@@ -573,28 +569,40 @@ func (b *builder) step() bool {
 			return false
 		}
 		o, exists := b.ops[entry.key]
-		if !exists || o.prio != entry.prio {
-			continue // superseded or stale duplicate heap copy
+		if !exists || (o.gen != entry.gen && o.prio != entry.prio) {
+			b.stalePops++
+			continue // superseded operation or outdated heap copy
 		}
 		x, y := o.key[0], o.key[1]
 		if !b.alive(x) || !b.alive(y) {
+			// Defensive: afterMerge removes ops on merged endpoints, so a
+			// live registry entry should never reference a dead node.
+			b.stalePops++
 			b.removeOp(o.key)
 			continue
 		}
+		c := b.ctxs[0]
 		if o.dirty {
-			errd, sized, admissible := b.evaluate(x, y)
-			if !admissible {
+			r := c.evaluate(x, y)
+			b.pairEvals++
+			b.reevals++
+			if r.cycle {
+				b.cycleRejects++
+			}
+			if !r.ok {
 				b.removeOp(o.key)
 				continue
 			}
-			o.errd, o.sized, o.dirty = errd, sized, false
-			o.prio = ratio(errd, sized)
-			b.pushHeap(o.prio, heapEntry{o.key, o.prio})
+			o.errd, o.sized, o.dirty = r.errd, r.sized, false
+			o.prio = ratio(r.errd, r.sized)
+			b.gen++
+			o.gen = b.gen
+			b.pushHeap(heapEntry{o.key, o.prio, o.gen})
 			continue
 		}
 		// Re-check admissibility at application time: the graph may have
 		// changed in ways the dirty-marking does not cover (reachability).
-		if b.sk.Reaches(x, y) || b.sk.Reaches(y, x) {
+		if c.reaches(x, y) || c.reaches(y, x) {
 			b.cycleRejects++
 			b.removeOp(o.key)
 			continue
@@ -614,19 +622,63 @@ func ratio(errd float64, sized int) float64 {
 	return errd / float64(sized)
 }
 
-// afterMerge rewrites pool operations that referenced the merged nodes
-// (Figure 5, lines 9-13) and marks operations in the affected neighborhood
-// dirty for re-evaluation (line 14).
+// afterMerge maintains the pool incrementally (Figure 5, lines 9-14):
+// operations that referenced the merged nodes are rewritten to pair the
+// surviving endpoint with w and re-evaluated in one parallel batch, and
+// operations in the affected neighborhood (parents and children of w) are
+// marked dirty for lazy re-evaluation when popped. No per-merge rebuild is
+// needed; the pool is only restocked when it drains to Lh.
 func (b *builder) afterMerge(x, y, wid int) {
-	// Replace ops touching x or y with ops pairing the surviving node
-	// against w.
+	// Phase 1 — pure scan: collect the unique rewritten pairs (other, wid)
+	// that ops touching x or y would produce, without mutating anything.
+	// Evaluation is read-only with respect to the registry, so the batch
+	// can be scored in parallel before the registry is rewritten.
 	touched := append([]opKey(nil), b.nodeOps[x]...)
 	touched = append(touched, b.nodeOps[y]...)
+	pairs := b.rewritePairs[:0]
+	for _, k := range touched {
+		other := -1
+		switch {
+		case k[0] == x || k[0] == y:
+			other = k[1]
+		case k[1] == x || k[1] == y:
+			other = k[0]
+		}
+		if other == x || other == y || other == wid || !b.alive(other) {
+			continue
+		}
+		if b.sk.Nodes[other].Label != b.sk.Nodes[wid].Label {
+			continue
+		}
+		nk := keyOf(other, wid)
+		dup := false
+		for _, seen := range pairs {
+			if seen == nk {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pairs = append(pairs, nk)
+		}
+	}
+	b.rewritePairs = pairs
+
+	// Re-evaluate the rewritten candidates as one batch — this is the bulk
+	// of the incremental maintenance work, and it parallelizes.
+	res := b.evalPairs(pairs)
+	b.reevals += len(pairs)
+
+	// Phase 2 — sequential rewrite: replay the registry mutations in
+	// touched order, interleaving each removal with the installation of
+	// its rewritten op (the swap-removals in removeOp make nodeOps slice
+	// order sensitive to this interleaving, and future rewrite batches
+	// inherit that order).
 	delete(b.nodeOps, x)
 	delete(b.nodeOps, y)
 	for _, k := range touched {
 		if _, exists := b.ops[k]; !exists {
-			continue
+			continue // the (x,y) op itself appears twice in touched
 		}
 		b.removeOp(k)
 		other := -1
@@ -642,7 +694,19 @@ func (b *builder) afterMerge(x, y, wid int) {
 		if b.sk.Nodes[other].Label != b.sk.Nodes[wid].Label {
 			continue
 		}
-		b.addOp(other, wid)
+		nk := keyOf(other, wid)
+		if _, exists := b.ops[nk]; exists {
+			b.opDupes++
+			continue
+		}
+		for i, pk := range pairs {
+			if pk == nk {
+				if res[i].ok {
+					b.installOp(nk, res[i].errd, res[i].sized)
+				}
+				break
+			}
+		}
 	}
 
 	// Affected neighborhood: ops referencing parents or children of w.
@@ -655,7 +719,7 @@ func (b *builder) afterMerge(x, y, wid int) {
 			}
 		}
 	}
-	for p := range b.parents[wid] {
+	for _, p := range b.parents[wid] {
 		mark(p)
 	}
 	for _, e := range b.sk.Nodes[wid].Edges {
@@ -663,24 +727,15 @@ func (b *builder) afterMerge(x, y, wid int) {
 	}
 }
 
-// addOp evaluates and registers a candidate merge, returning true when it
-// was admissible.
-func (b *builder) addOp(x, y int) bool {
-	k := keyOf(x, y)
-	if _, exists := b.ops[k]; exists {
-		b.opDupes++
-		return true
-	}
-	errd, sized, ok := b.evaluate(x, y)
-	if !ok {
-		return false
-	}
-	o := &op{key: k, errd: errd, sized: sized, prio: ratio(errd, sized)}
+// installOp registers an evaluated candidate and pushes its heap entry with
+// a fresh generation.
+func (b *builder) installOp(k opKey, errd float64, sized int) {
+	b.gen++
+	o := &op{key: k, errd: errd, sized: sized, prio: ratio(errd, sized), gen: b.gen}
 	b.ops[k] = o
 	b.nodeOps[k[0]] = append(b.nodeOps[k[0]], k)
 	b.nodeOps[k[1]] = append(b.nodeOps[k[1]], k)
-	b.pushHeap(o.prio, heapEntry{k, o.prio})
-	return true
+	b.pushHeap(heapEntry{k, o.prio, o.gen})
 }
 
 func (b *builder) removeOp(k opKey) {
@@ -697,43 +752,58 @@ func (b *builder) removeOp(k opKey) {
 	}
 }
 
+// cand is a CreatePool candidate before installation.
+type cand struct {
+	key   opKey
+	errd  float64
+	sized int
+}
+
 // createPool implements CreatePool (Figure 6): it scans same-label node
-// pairs bottom-up by depth, evaluates them, and retains the HeapUpper best
-// by marginal-gain ratio. It replaces the current pool and returns the
-// number of operations installed.
+// pairs bottom-up by depth, evaluates them level by level in parallel
+// batches, and retains the HeapUpper best by marginal-gain ratio. It
+// replaces the current pool and returns the number of operations installed.
+//
+// The bounded set sees candidates in enumeration order — the parallel batch
+// is reduced sequentially in pair order — so retention is independent of
+// evaluation scheduling.
 func (b *builder) createPool() int {
 	b.ops = make(map[opKey]*op)
 	b.nodeOps = make(map[int][]opKey)
 	b.heap.Reset()
 
-	type cand struct {
-		key   opKey
-		errd  float64
-		sized int
-	}
 	pool := container.NewBoundedMinSet[cand](b.opts.HeapUpper)
 	evalBudget := b.opts.MaxPairEvals
+	truncated := false
 
-	offer := func(x, y int) {
-		if evalBudget <= 0 {
+	var batch []opKey
+	flush := func() {
+		if len(batch) == 0 {
 			return
 		}
-		k := keyOf(x, y)
-		// When the pool is full, an op must beat the current worst to be
-		// retained; evaluation is the expensive part so this pre-check on a
-		// zero lower bound cannot help — evaluate and let the set decide.
-		evalBudget--
-		errd, sized, ok := b.evaluate(x, y)
-		if !ok {
-			return
-		}
-		wasFull := pool.Full()
-		if pool.Push(ratio(errd, sized), cand{k, errd, sized}) {
-			b.heapPushes++
-			if wasFull {
-				b.heapEvictions++
+		res := b.evalPairs(batch)
+		for i, r := range res {
+			if !r.ok {
+				continue
+			}
+			c := cand{key: batch[i], errd: r.errd, sized: r.sized}
+			wasFull := pool.Full()
+			if pool.Push(ratio(c.errd, c.sized), c) {
+				b.heapPushes++
+				if wasFull {
+					b.heapEvictions++
+				}
 			}
 		}
+		batch = batch[:0]
+	}
+	offer := func(x, y int) {
+		if evalBudget <= 0 {
+			truncated = true
+			return
+		}
+		evalBudget--
+		batch = append(batch, keyOf(x, y))
 	}
 
 	// Group live non-root nodes by label, each group sorted by depth.
@@ -789,6 +859,14 @@ func (b *builder) createPool() int {
 				b.windowedPairs(g[:hi], lo, offer)
 			}
 		}
+		// One parallel evaluation batch per level keeps the bottom-up
+		// admission order of Figure 6: the bounded set sees every level-d
+		// candidate before any level-(d+1) candidate.
+		flush()
+	}
+	flush()
+	if truncated {
+		b.poolTruncated++
 	}
 
 	cands, _ := pool.Drain()
@@ -796,18 +874,135 @@ func (b *builder) createPool() int {
 		if _, exists := b.ops[c.key]; exists {
 			continue
 		}
-		o := &op{key: c.key, errd: c.errd, sized: c.sized, prio: ratio(c.errd, c.sized)}
-		b.ops[c.key] = o
-		b.nodeOps[c.key[0]] = append(b.nodeOps[c.key[0]], c.key)
-		b.nodeOps[c.key[1]] = append(b.nodeOps[c.key[1]], c.key)
-		b.pushHeap(o.prio, heapEntry{c.key, o.prio})
+		b.installOp(c.key, c.errd, c.sized)
 	}
+	b.enumeratedTo = len(b.sk.Nodes)
 	return len(b.ops)
+}
+
+// replenishPool restocks a depleted pool incrementally (the Lh trigger of
+// Figure 5, line 5, without the full CreatePool regenerate; used under
+// Options.IncrementalRefill): it enumerates only candidate pairs involving
+// nodes created by merges since the last enumeration horizon. Those are the
+// pairs that rewriting inherited operations cannot produce — two merge
+// products never paired before, or a merge product against a node it
+// inherited no operation with. (Unlike a full regenerate it does not revisit
+// pairs the bounded pool evicted or levels the first pass skipped, which is
+// why it can deviate from the paper trajectory.) Existing operations, their
+// scores, and their heap entries are left untouched. Returns the number of
+// operations added.
+func (b *builder) replenishPool() int {
+	newStart := b.enumeratedTo
+	b.enumeratedTo = len(b.sk.Nodes)
+	if newStart >= len(b.sk.Nodes) {
+		return 0
+	}
+	b.poolReplenishes++
+
+	// Group live non-root nodes by label, ascending ID, but only for
+	// labels that gained a node at or beyond the horizon.
+	groups := make(map[string][]*sketch.Node)
+	for _, u := range b.sk.Nodes[newStart:] {
+		if u == nil || u.ID == b.sk.Root {
+			continue
+		}
+		groups[u.Label] = nil
+	}
+	if len(groups) == 0 {
+		return 0
+	}
+	labels := make([]string, 0, len(groups))
+	for l := range groups {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, u := range b.sk.Nodes {
+		if u == nil || u.ID == b.sk.Root {
+			continue
+		}
+		if _, wanted := groups[u.Label]; wanted {
+			groups[u.Label] = append(groups[u.Label], u)
+		}
+	}
+
+	room := b.opts.HeapUpper - len(b.ops)
+	if room <= 0 {
+		return 0
+	}
+	pool := container.NewBoundedMinSet[cand](room)
+	evalBudget := b.opts.MaxPairEvals
+	truncated := false
+
+	var batch []opKey
+	offer := func(x, y int) {
+		if _, exists := b.ops[keyOf(x, y)]; exists {
+			return // already maintained incrementally
+		}
+		if evalBudget <= 0 {
+			truncated = true
+			return
+		}
+		evalBudget--
+		batch = append(batch, keyOf(x, y))
+	}
+	for _, l := range labels {
+		g := groups[l]
+		if len(g) < 2 {
+			continue
+		}
+		// Nodes are in ascending ID order; the new ones form the tail.
+		lo := sort.Search(len(g), func(i int) bool { return g[i].ID >= newStart })
+		if lo == len(g) {
+			continue
+		}
+		if len(g) <= b.opts.GroupCap {
+			// All pairs with at least one new endpoint: new x old and
+			// new x new, enumerated in ascending ID order.
+			for i := lo; i < len(g); i++ {
+				for j := 0; j < i; j++ {
+					offer(g[i].ID, g[j].ID)
+				}
+			}
+		} else {
+			b.windowedPairs(g, lo, offer)
+		}
+	}
+	if len(batch) > 0 {
+		res := b.evalPairs(batch)
+		for i, r := range res {
+			if !r.ok {
+				continue
+			}
+			c := cand{key: batch[i], errd: r.errd, sized: r.sized}
+			wasFull := pool.Full()
+			if pool.Push(ratio(c.errd, c.sized), c) {
+				b.heapPushes++
+				if wasFull {
+					b.heapEvictions++
+				}
+			}
+		}
+	}
+	if truncated {
+		b.poolTruncated++
+	}
+
+	added := 0
+	cands, _ := pool.Drain()
+	for _, c := range cands {
+		if _, exists := b.ops[c.key]; exists {
+			continue
+		}
+		b.installOp(c.key, c.errd, c.sized)
+		added++
+	}
+	return added
 }
 
 // windowedPairs handles oversized (label, depth) groups: nodes are sorted
 // by a cheap structural feature and each new node is paired only with its
-// PairWindow nearest neighbors in feature order.
+// PairWindow nearest neighbors in feature order. Feature ties sort by node
+// ID so the pairing — and hence the candidate pool — is deterministic.
 func (b *builder) windowedPairs(g []*sketch.Node, newStart int, offer func(x, y int)) {
 	feat := func(n *sketch.Node) float64 {
 		f := float64(len(n.Edges)) * 1e6
@@ -817,18 +1012,30 @@ func (b *builder) windowedPairs(g []*sketch.Node, newStart int, offer func(x, y 
 		}
 		return f
 	}
-	sorted := append([]*sketch.Node(nil), g...)
-	sort.Slice(sorted, func(i, j int) bool { return feat(sorted[i]) < feat(sorted[j]) })
+	type featNode struct {
+		f float64
+		n *sketch.Node
+	}
+	sorted := make([]featNode, len(g))
+	for i, n := range g {
+		sorted[i] = featNode{feat(n), n}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].f != sorted[j].f {
+			return sorted[i].f < sorted[j].f
+		}
+		return sorted[i].n.ID < sorted[j].n.ID
+	})
 	isNew := make(map[int]bool, len(g)-newStart)
 	for _, n := range g[newStart:] {
 		isNew[n.ID] = true
 	}
 	w := b.opts.PairWindow
-	for i, n := range sorted {
+	for i, fn := range sorted {
 		for j := i + 1; j < len(sorted) && j <= i+w; j++ {
-			m := sorted[j]
-			if isNew[n.ID] || isNew[m.ID] {
-				offer(n.ID, m.ID)
+			m := sorted[j].n
+			if isNew[fn.n.ID] || isNew[m.ID] {
+				offer(fn.n.ID, m.ID)
 			}
 		}
 	}

@@ -47,6 +47,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "compare two result files: tsbench -compare old.json new.json")
 		gate     = flag.Bool("gate", false, "with -compare: exit nonzero when any metric regresses beyond threshold")
 		slack    = flag.Float64("slack", 1, "with -compare: multiply every noise threshold (use >1 on noisy runners)")
+		refEval  = flag.Bool("ref-eval", false, "run approximate-eval legs through the reference (pre-fast-path) enumeration; accuracy metrics must match a fast-path run bit-for-bit")
 		determ   = flag.Bool("determinism", false, "instead of benchmarking, print per-cell synopsis fingerprints and verify Workers=1 matches Workers=GOMAXPROCS; diff the output across GOMAXPROCS settings to check cross-core determinism")
 	)
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
@@ -100,6 +101,7 @@ func main() {
 	if *workload > 0 {
 		cfg.WorkloadSize = *workload
 	}
+	cfg.ReferenceEval = *refEval
 	cfg.Out = os.Stdout
 
 	if *determ {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	"treesketch/internal/esd"
@@ -56,6 +57,11 @@ type Config struct {
 	// Quick records whether this was a reduced-scale run; compare warns
 	// when gating a quick run against a full baseline.
 	Quick bool `json:"quick"`
+	// ReferenceEval runs the approximate-evaluation legs through the
+	// pre-fast-path reference enumeration (eval.Options.Reference). Useful
+	// for measuring what the plan-driven fast path buys: accuracy metrics
+	// must be bit-identical between the two modes, only latency may differ.
+	ReferenceEval bool `json:"reference_eval,omitempty"`
 	// Out receives human-readable progress lines; nil discards them.
 	Out io.Writer `json:"-"`
 }
@@ -214,13 +220,18 @@ func benchDataset(res *Result, r *exp.Runner, reg *obs.Registry, cfg Config, ds 
 
 	// Exact-evaluation latency leg (budget-independent).
 	hExact := reg.Histogram("bench." + ds + ".exact_latency_seconds")
+	exactCounters0 := counterTotals(reg, "eval.exact.")
 	exactTotal := measureLatencies(hExact, cfg.Repeats, len(w), func(i int) {
 		eval.Exact(ix, w[i].Q)
 	})
 	build["exact_p50_seconds"] = hExact.Quantile(0.50)
 	build["exact_p95_seconds"] = hExact.Quantile(0.95)
 	build["exact_p99_seconds"] = hExact.Quantile(0.99)
+	build["exact_tail_p99_over_p50"] = ratio(build["exact_p99_seconds"], build["exact_p50_seconds"])
 	build["exact_queries_per_sec"] = rate(float64(len(w)), exactTotal)
+	for name, v := range counterDeltas(reg, "eval.exact.", exactCounters0) {
+		build["exact_"+name] = v
+	}
 	res.Benchmarks["build/"+ds] = build
 
 	for _, budgetKB := range cfg.BudgetsKB {
@@ -253,10 +264,12 @@ func benchDataset(res *Result, r *exp.Runner, reg *obs.Registry, cfg Config, ds 
 		// error computations are seed-deterministic, one pass suffices);
 		// the recorded passes then time only the evaluation itself.
 		hApprox := reg.Histogram(fmt.Sprintf("bench.%s.%02dkb.approx_latency_seconds", ds, budgetKB))
+		evalOpts := eval.Options{Reference: cfg.ReferenceEval}
+		approxCounters0 := counterTotals(reg, "eval.approx.")
 		var errSum, esdSum float64
 		n := 0
 		for _, item := range w {
-			ar := eval.Approx(sk, item.Q, eval.Options{})
+			ar := eval.Approx(sk, item.Q, evalOpts)
 			if item.Empty {
 				continue
 			}
@@ -265,13 +278,17 @@ func benchDataset(res *Result, r *exp.Runner, reg *obs.Registry, cfg Config, ds 
 			esdSum += esd.Distance(item.TruthESD, ar.ESDGraph())
 		}
 		approxTotal := measureLatencies(hApprox, cfg.Repeats, len(w), func(i int) {
-			eval.Approx(sk, w[i].Q, eval.Options{})
+			eval.Approx(sk, w[i].Q, evalOpts)
 		})
 		em := Metrics{
 			"approx_p50_seconds":     hApprox.Quantile(0.50),
 			"approx_p95_seconds":     hApprox.Quantile(0.95),
 			"approx_p99_seconds":     hApprox.Quantile(0.99),
 			"approx_queries_per_sec": rate(float64(len(w)), approxTotal),
+		}
+		em["approx_tail_p99_over_p50"] = ratio(em["approx_p99_seconds"], em["approx_p50_seconds"])
+		for name, v := range counterDeltas(reg, "eval.approx.", approxCounters0) {
+			em["approx_"+name] = v
 		}
 		if n > 0 {
 			em["sel_mre_pct"] = 100 * errSum / float64(n)
@@ -325,6 +342,46 @@ func rate(n, seconds float64) float64 {
 
 // timerTotals reads the cumulative seconds of every phase timer, used to
 // attribute span time to an individual build by differencing.
+// ratio is p99/p50, guarded so an unresolvably fast p50 (clock granularity)
+// yields 0 rather than +Inf. The tail-ratio metric is what the ROADMAP's
+// "p99 <= 5x p50" target gates on.
+func ratio(p99, p50 float64) float64 {
+	if p50 <= 0 {
+		return 0
+	}
+	return p99 / p50
+}
+
+// counterTotals snapshots the counters under a name prefix.
+func counterTotals(reg *obs.Registry, prefix string) map[string]int64 {
+	s := reg.Snapshot()
+	out := make(map[string]int64)
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// counterDeltas returns the growth of the counters under prefix since the
+// before snapshot, keyed by the suffix with dots flattened to underscores
+// ("eval.approx.embed_prunes" -> "embed_prunes"). Zero deltas are dropped:
+// per-cell benchmark metrics only carry counters that actually moved.
+func counterDeltas(reg *obs.Registry, prefix string, before map[string]int64) map[string]float64 {
+	s := reg.Snapshot()
+	out := make(map[string]float64)
+	for name, v := range s.Counters {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if d := v - before[name]; d > 0 {
+			out[strings.ReplaceAll(strings.TrimPrefix(name, prefix), ".", "_")] = float64(d)
+		}
+	}
+	return out
+}
+
 func timerTotals(reg *obs.Registry) map[string]float64 {
 	s := reg.Snapshot()
 	out := make(map[string]float64, len(s.Timers))

@@ -112,6 +112,13 @@ func metricPolicy(name string) (gated, higherBetter bool, threshold float64) {
 	switch {
 	case strings.HasPrefix(name, "phase_"):
 		return false, false, 0
+	case strings.Contains(name, "_tail_"):
+		// p99/p50 ratio: the ROADMAP's tail target (p99 <= 5x p50). It is
+		// a quotient of two timing percentiles, so it inherits the tail
+		// band; lower is better. Gated once a baseline that carries the
+		// metric exists (against older baselines it surfaces as new /
+		// informational).
+		return true, false, 0.50
 	case strings.Contains(name, "per_sec"):
 		return true, true, 0.30
 	case strings.Contains(name, "_p95_") || strings.Contains(name, "_p99_"):

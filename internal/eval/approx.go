@@ -2,6 +2,7 @@ package eval
 
 import (
 	"sort"
+	"sync"
 
 	"treesketch/internal/obs"
 	"treesketch/internal/query"
@@ -30,6 +31,12 @@ type Options struct {
 	// worked example of the paper's Example 4.1 is reproduced exactly
 	// with PaperMode set.
 	PaperMode bool
+	// Reference selects the pre-fast-path embedding enumeration (label-
+	// reachability pruning only, no plan compilation, per-embedding
+	// count walks). It exists for differential testing: on queries that do
+	// not hit the MaxEmbeddings truncation guards, the fast path is
+	// bit-identical to the reference.
+	Reference bool
 	// Metrics receives the evaluation's observability metrics (the
 	// eval.approx.* namespace). Nil selects the process-wide obs.Default
 	// registry.
@@ -61,6 +68,7 @@ func approxWith(sk *sketch.Sketch, q *query.Query, opts Options, conditioning, t
 		qnodes:       q.Vars(),
 		qidx:         make(map[*query.Node]int),
 		opts:         opts.withDefaults(),
+		reference:    opts.Reference,
 		conditioning: conditioning && !opts.DisablePrune,
 		twoMoment:    twoMoment,
 		selMemo:      make(map[selKey]float64),
@@ -75,12 +83,27 @@ func approxWith(sk *sketch.Sketch, q *query.Query, opts Options, conditioning, t
 	for i, qn := range a.qnodes {
 		a.qidx[qn] = i
 	}
+	if !a.reference {
+		var cached bool
+		a.plan, cached = planFor(q)
+		if cached {
+			reg.Counter("eval.approx.plan.hits").Inc()
+		} else {
+			reg.Counter("eval.approx.plan.misses").Inc()
+		}
+	}
 	span := reg.StartSpan("eval.approx.query")
 	reg.Counter("eval.approx.queries").Inc()
 	res := a.run()
 	// Keep the full latency distribution alongside the phase timer so
 	// snapshots can report p50/p95/p99 (see Histogram.Quantile).
 	reg.Histogram("eval.approx.latency_seconds").Observe(span.End().Seconds())
+	if a.prunes > 0 {
+		reg.Counter("eval.approx.embed_prunes").Add(a.prunes)
+	}
+	if a.canHits > 0 {
+		reg.Counter("eval.approx.embed_memo_hits").Add(a.canHits)
+	}
 	if res.Empty {
 		reg.Counter("eval.approx.empty").Inc()
 	}
@@ -104,15 +127,28 @@ type approxer struct {
 	qidx   map[*query.Node]int
 	opts   Options
 
+	reference    bool
 	conditioning bool
 	twoMoment    bool
+
+	plan *qplan // nil in reference mode
 
 	res        *Result
 	resIndex   map[resKey]int // (synopsis node, query var index) -> result node
 	bind       [][]int        // query var index -> result node IDs
 	selMemo    map[selKey]float64
-	reachCache map[string][]bool
+	reachCache map[string][]bool // reference-mode label reachability
+	labels     map[string]bool   // fast-path synopsis label universe
+	canTabs    map[*query.Path][]int8
 	truncated  bool
+
+	// Locally accumulated fast-path counters, flushed once per query.
+	prunes  int64
+	canHits int64
+
+	// Reusable dedup state for enumFast (epoch-reset per enumeration): the
+	// incremental path trie and the set of already-emitted path IDs.
+	trie pathTrie
 
 	// Metric handles, resolved once per query so hot paths pay only an
 	// atomic add.
@@ -143,9 +179,17 @@ type selKey struct {
 // XPath's set semantics: the elements along a fixed class path are matched
 // if at least one step assignment exists, and elements on distinct class
 // paths are distinct.
+//
+// The fast path additionally stores the product accumulated while walking
+// the path (k: average descendant counts; exist: per-hop existence
+// probabilities), multiplied hop by hop in path order — the same
+// association the reference per-embedding walks use, so values are
+// bit-identical.
 type embedding struct {
 	nodes   []int
 	stepAts [][]int
+	k       float64
+	exist   float64
 }
 
 func (a *approxer) run() *Result {
@@ -293,19 +337,26 @@ func (a *approxer) addResultNode(src, qi int, label string) int {
 func (a *approxer) processEdge(uQ int, edge *query.Edge) {
 	rn := a.res.Nodes[uQ]
 	steps := edge.Path.MainSteps()
-	embs := a.embeddings(rn.Src, steps)
-	if len(embs) == 0 {
-		return
-	}
 	// Aggregate per terminal synopsis node; iterate terminals in sorted
 	// order so result-node IDs (and everything downstream: expansion
 	// order, float accumulation) are deterministic.
 	perTerm := make(map[int]float64)
-	for _, e := range embs {
-		k := a.evalEmbed(steps, rn.Src, e)
-		if k > 0 {
-			perTerm[e.nodes[len(e.nodes)-1]] += k
+	if a.fastStream(edge.Path) {
+		a.enumFast(rn.Src, edge.Path, false, nil, func(term int, prod float64) {
+			if prod > 0 {
+				perTerm[term] += prod
+			}
+		})
+	} else {
+		for _, e := range a.embeddings(rn.Src, edge.Path, false) {
+			k := a.evalEmbed(steps, rn.Src, e)
+			if k > 0 {
+				perTerm[e.nodes[len(e.nodes)-1]] += k
+			}
 		}
+	}
+	if len(perTerm) == 0 {
+		return
 	}
 	terms := make([]int, 0, len(perTerm))
 	for v := range perTerm {
@@ -319,16 +370,240 @@ func (a *approxer) processEdge(uQ int, edge *query.Edge) {
 	}
 }
 
-// embeddings enumerates the mappings of steps into the synopsis starting
-// at node from: a Child step follows one matching edge; a Descendant step
-// follows any downward path ending at a matching label. Mappings sharing a
-// node path are merged into one embedding with multiple step assignments.
+// fastStream reports whether path p can be enumerated in streaming mode:
+// plan-driven evaluation with no step predicates, where only (terminal,
+// product) pairs are needed and embeddings never materialize.
+func (a *approxer) fastStream(p *query.Path) bool {
+	return !a.reference && !a.plan.paths[p].hasPreds
+}
+
+// embeddings enumerates the mappings of p's steps into the synopsis
+// starting at node from, dispatching between the fast path and the
+// reference enumeration. needExist selects which per-path product the fast
+// path accumulates (descendant counts for EvalEmbed, per-hop existence
+// probabilities for the two-moment estimator).
+func (a *approxer) embeddings(from int, p *query.Path, needExist bool) []embedding {
+	if a.reference {
+		return a.embeddingsRef(from, p.Steps)
+	}
+	return a.embeddingsFast(from, p, needExist)
+}
+
+// embeddingsFast materializes the plan-driven enumeration. It is the slow
+// shape of the fast path, needed only when a step carries predicates (the
+// best step assignment is then chosen per node path); predicate-free paths
+// go through enumFast's streaming mode and never build embedding values.
+func (a *approxer) embeddingsFast(from int, p *query.Path, needExist bool) []embedding {
+	var out []embedding
+	a.enumFast(from, p, needExist, &out, nil)
+	return out
+}
+
+// enumFast is the plan-driven enumeration: a DFS over the synopsis that
+// (1) refuses to start when a step label is absent from the synopsis
+// altogether, (2) prunes any branch whose can-complete memo proves the
+// remaining steps cannot all be placed below it — so every surviving
+// branch emits at least one embedding — and (3) accumulates the
+// per-embedding count (or existence) product hop by hop during the walk,
+// eliminating the per-embedding re-walks of the reference path. Emission
+// order, and therefore all downstream floating-point accumulation, is
+// identical to the reference whenever neither enumeration truncates.
+//
+// Exactly one of out/stream is set. With out, embeddings are materialized
+// (nodes, step assignments, product). With stream, each deduplicated
+// emission calls stream(terminal node, product) and nothing is retained —
+// no node-path copies, no per-embedding allocation; duplicate node paths
+// carry no information a predicate-free caller can use (their extra step
+// assignments only matter to bestAssignmentSel), so they are dropped after
+// the budget accounting.
+func (a *approxer) enumFast(from int, p *query.Path, needExist bool, out *[]embedding, stream func(term int, prod float64)) {
+	pp := a.plan.paths[p]
+	labels := a.labelSet()
+	for _, l := range pp.labels {
+		if !labels[l] {
+			a.prunes++
+			return
+		}
+	}
+	steps := p.Steps
+	tab := a.canTab(p)
+	// Duplicate node paths (possible only with two or more Descendant
+	// steps) are detected with an incremental path trie: every pushed
+	// (prefix, node) pair gets a dense integer ID, so the whole current
+	// stack is identified by one int — no per-emission key strings. The
+	// trie maps live on the approxer and are clear()ed per enumeration to
+	// keep their buckets warm across a query's path expressions.
+	dedup := pp.canDup
+	var nextID int32 = 1
+	var pathID int32
+	var idStack []int32
+	if dedup {
+		a.trie.reset()
+	}
+	budget := a.opts.MaxEmbeddings
+	work := 64 * a.opts.MaxEmbeddings
+	emitted := 0
+	var nodes []int
+	var stepAt []int
+
+	push := func(node int) {
+		if dedup {
+			key := uint64(uint32(pathID))<<32 | uint64(uint32(node))
+			idStack = append(idStack, pathID)
+			pathID = a.trie.id(key, &nextID)
+		}
+		nodes = append(nodes, node)
+	}
+	pop := func() {
+		if dedup {
+			pathID = idStack[len(idStack)-1]
+			idStack = idStack[:len(idStack)-1]
+		}
+		nodes = nodes[:len(nodes)-1]
+	}
+	emit := func(prod float64) {
+		if dedup {
+			if prev, dup := a.trie.markEmitted(pathID, emitted); dup {
+				if out != nil {
+					(*out)[prev].stepAts = append((*out)[prev].stepAts, append([]int(nil), stepAt...))
+				}
+				return
+			}
+		}
+		emitted++
+		if out == nil {
+			stream(nodes[len(nodes)-1], prod)
+			return
+		}
+		e := embedding{
+			nodes:   append([]int(nil), nodes...),
+			stepAts: [][]int{append([]int(nil), stepAt...)},
+		}
+		if needExist {
+			e.exist = prod
+		} else {
+			e.k = prod
+		}
+		*out = append(*out, e)
+	}
+	// extend advances the accumulated product across one synopsis edge, in
+	// the same multiplication order as the reference per-embedding walks.
+	extend := func(prod float64, e sketch.Edge, parent int) float64 {
+		if needExist {
+			return prod * edgeExistence(e, a.sk.Nodes[parent].Count)
+		}
+		return prod * e.Avg
+	}
+	var desc func(cur, si int, prod float64)
+	var rec func(cur, si int, prod float64)
+	rec = func(cur, si int, prod float64) {
+		if budget <= 0 || work <= 0 {
+			a.truncated = true
+			return
+		}
+		if si == len(steps) {
+			budget--
+			emit(prod)
+			return
+		}
+		step := &steps[si]
+		if step.Axis == query.Child {
+			for _, e := range a.sk.Nodes[cur].Edges {
+				if a.sk.Nodes[e.Child].Label != step.Label {
+					continue
+				}
+				if !a.canRec(tab, steps, e.Child, si+1) {
+					a.prunes++
+					continue
+				}
+				work--
+				push(e.Child)
+				stepAt = append(stepAt, len(nodes)-1)
+				rec(e.Child, si+1, extend(prod, e, cur))
+				pop()
+				stepAt = stepAt[:len(stepAt)-1]
+			}
+			return
+		}
+		desc(cur, si, prod)
+	}
+	// desc explores downward paths for a Descendant step: a matching child
+	// that can complete the remaining steps is a landing point, and the
+	// search continues deeper wherever the memo proves more landings exist.
+	desc = func(cur, si int, prod float64) {
+		if budget <= 0 {
+			a.truncated = true
+			return
+		}
+		step := &steps[si]
+		for _, e := range a.sk.Nodes[cur].Edges {
+			if work <= 0 {
+				a.truncated = true
+				return
+			}
+			land := a.sk.Nodes[e.Child].Label == step.Label && a.canRec(tab, steps, e.Child, si+1)
+			deeper := a.canDesc(tab, steps, e.Child, si)
+			if !land && !deeper {
+				a.prunes++
+				continue
+			}
+			work--
+			next := extend(prod, e, cur)
+			push(e.Child)
+			if land {
+				stepAt = append(stepAt, len(nodes)-1)
+				rec(e.Child, si+1, next)
+				stepAt = stepAt[:len(stepAt)-1]
+			}
+			if deeper {
+				desc(e.Child, si, next)
+			}
+			pop()
+		}
+	}
+	rec(from, 0, 1)
+	a.mEmbeddings.Add(int64(emitted))
+	a.mEmbedWork.Add(int64(64*a.opts.MaxEmbeddings - work))
+}
+
+// labelSetCache holds the label universe per synopsis. Sketches are
+// immutable once built and shared across concurrent evaluations, so the
+// set is computed once per sketch process-wide (same lifetime reasoning as
+// planCache: entries are tiny and keyed by objects the caller retains).
+var labelSetCache sync.Map // *sketch.Sketch -> map[string]bool
+
+// labelSet returns the synopsis's label universe, cached per sketch.
+func (a *approxer) labelSet() map[string]bool {
+	if a.labels != nil {
+		return a.labels
+	}
+	if v, ok := labelSetCache.Load(a.sk); ok {
+		a.labels = v.(map[string]bool)
+		return a.labels
+	}
+	set := make(map[string]bool)
+	for _, u := range a.sk.Nodes {
+		if u != nil {
+			set[u.Label] = true
+		}
+	}
+	if v, loaded := labelSetCache.LoadOrStore(a.sk, set); loaded {
+		set = v.(map[string]bool)
+	}
+	a.labels = set
+	return set
+}
+
+// embeddingsRef is the pre-plan reference enumeration: a Child step follows
+// one matching edge; a Descendant step follows any downward path ending at
+// a matching label. Mappings sharing a node path are merged into one
+// embedding with multiple step assignments.
 //
 // Two guards keep enumeration cheap: descendant exploration skips subgraphs
 // from which the target label is unreachable (label-reachability prune),
 // and total DFS work is bounded by a step budget proportional to
 // MaxEmbeddings so that fruitless dense regions cannot stall evaluation.
-func (a *approxer) embeddings(from int, steps []query.Step) []embedding {
+func (a *approxer) embeddingsRef(from int, steps []query.Step) []embedding {
 	var out []embedding
 	byPath := make(map[string]int) // node-path key -> index in out
 	budget := a.opts.MaxEmbeddings
@@ -413,7 +688,8 @@ func (a *approxer) embeddings(from int, steps []query.Step) []embedding {
 
 // reaches reports whether a node with the given label is reachable from id
 // (including id itself) following synopsis edges. Computed once per label
-// over the whole graph and cached.
+// over the whole graph and cached; reference-mode only (the fast path's
+// can-complete memo subsumes it).
 func (a *approxer) reaches(id int, label string) bool {
 	reach, ok := a.reachCache[label]
 	if !ok {
@@ -454,8 +730,12 @@ func (a *approxer) reaches(id int, label string) bool {
 // counts, scaled by the selectivity of each step's branching predicates.
 // With several step assignments on the same node path, the best (highest
 // selectivity) assignment is used — an element matches if any assignment's
-// predicates hold.
+// predicates hold. The fast path accumulated the count product during
+// enumeration; the reference re-walks the path.
 func (a *approxer) evalEmbed(steps []query.Step, from int, e embedding) float64 {
+	if !a.reference {
+		return e.k * a.bestAssignmentSel(steps, e)
+	}
 	nt := 1.0
 	prev := from
 	for _, nid := range e.nodes {
@@ -546,12 +826,17 @@ func (a *approxer) branchSel(from int, pred *query.Path) float64 {
 		return s
 	}
 	a.mSelMisses.Inc()
-	embs := a.embeddings(from, pred.Steps)
 	var s float64
 	if a.twoMoment {
 		var sum float64
-		for _, e := range embs {
-			sum += a.embedExistence(pred.Steps, from, e)
+		if a.fastStream(pred) {
+			a.enumFast(from, pred, true, nil, func(term int, prod float64) {
+				sum += prod
+			})
+		} else {
+			for _, e := range a.embeddings(from, pred, true) {
+				sum += a.embedExistence(pred.Steps, from, e)
+			}
 		}
 		if sum > 1 {
 			sum = 1
@@ -559,8 +844,14 @@ func (a *approxer) branchSel(from int, pred *query.Path) float64 {
 		s = sum
 	} else {
 		perTerm := make(map[int]float64)
-		for _, e := range embs {
-			perTerm[e.nodes[len(e.nodes)-1]] += a.evalEmbed(pred.Steps, from, e)
+		if a.fastStream(pred) {
+			a.enumFast(from, pred, false, nil, func(term int, prod float64) {
+				perTerm[term] += prod
+			})
+		} else {
+			for _, e := range a.embeddings(from, pred, false) {
+				perTerm[e.nodes[len(e.nodes)-1]] += a.evalEmbed(pred.Steps, from, e)
+			}
 		}
 		if len(perTerm) > 0 {
 			prod := 1.0
@@ -586,8 +877,12 @@ func (a *approxer) branchSel(from int, pred *query.Path) float64 {
 // embedExistence estimates the probability that an element of from has at
 // least one descendant along the specific embedding: per-hop two-moment
 // existence probabilities multiplied along the path, scaled by the best
-// step assignment's nested-predicate selectivities.
+// step assignment's nested-predicate selectivities. The fast path
+// accumulated the per-hop product during enumeration.
 func (a *approxer) embedExistence(steps []query.Step, from int, e embedding) float64 {
+	if !a.reference {
+		return e.exist * a.bestAssignmentSel(steps, e)
+	}
 	p := 1.0
 	prev := from
 	for _, nid := range e.nodes {

@@ -6,31 +6,48 @@
 package eval
 
 import (
-	"sort"
+	"sync/atomic"
 
 	"treesketch/internal/xmltree"
 )
 
 // Index accelerates path evaluation over a document: it assigns pre-order
 // positions, records each element's subtree interval, and maintains
-// per-label position lists so descendant steps resolve with binary search.
+// per-label position lists so descendant steps resolve with binary search
+// and child steps can scan by label instead of walking every child.
 type Index struct {
 	Doc *xmltree.Tree
 
-	order   []*xmltree.Node // nodes by pre-order position
-	begin   []int           // OID -> pre-order position
-	end     []int           // OID -> position just past the subtree
-	byLabel map[string][]int
+	order     []*xmltree.Node // nodes by pre-order position
+	begin     []int           // OID -> pre-order position
+	end       []int           // OID -> position just past the subtree
+	parentPos []int32         // pre-order position -> parent's position (-1 for root)
+	labelIDs  map[string]int  // label -> dense label ID
+	posLists  [][]int32       // label ID -> ascending pre-order positions
+
+	// ranks lazily caches, per frequent label, the prefix-count array
+	// ranks[lid][p] = #occurrences of lid at positions < p, which turns
+	// posRange (and thus every descendant count) into two O(1) lookups.
+	// Built on first use under concurrent Load/Store (a racing double build
+	// produces identical arrays, so last-store-wins is safe).
+	ranks []atomic.Pointer[[]int32]
+
+	// scratch pools one exactScratch across queries evaluated on this
+	// index. Access is a lock-free swap: a concurrent evaluation that finds
+	// the pool empty allocates its own scratch, so sharing an Index across
+	// goroutines stays safe.
+	scratch atomic.Pointer[exactScratch]
 }
 
 // NewIndex builds the evaluation index for doc in O(|T|) time.
 func NewIndex(doc *xmltree.Tree) *Index {
 	ix := &Index{
-		Doc:     doc,
-		order:   make([]*xmltree.Node, 0, doc.Size()),
-		begin:   make([]int, doc.OIDSpace()),
-		end:     make([]int, doc.OIDSpace()),
-		byLabel: make(map[string][]int),
+		Doc:       doc,
+		order:     make([]*xmltree.Node, 0, doc.Size()),
+		begin:     make([]int, doc.OIDSpace()),
+		end:       make([]int, doc.OIDSpace()),
+		parentPos: make([]int32, 0, doc.Size()),
+		labelIDs:  make(map[string]int),
 	}
 	if doc.Root == nil {
 		return ix
@@ -41,34 +58,157 @@ func NewIndex(doc *xmltree.Tree) *Index {
 		i int
 	}
 	stack := []frame{{doc.Root, 0}}
-	ix.enter(doc.Root)
+	ix.enter(doc.Root, -1)
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		if f.i < len(f.n.Children) {
 			c := f.n.Children[f.i]
 			f.i++
-			ix.enter(c)
+			ix.enter(c, int32(ix.begin[f.n.OID]))
 			stack = append(stack, frame{c, 0})
 			continue
 		}
 		ix.end[f.n.OID] = len(ix.order)
 		stack = stack[:len(stack)-1]
 	}
+	ix.ranks = make([]atomic.Pointer[[]int32], len(ix.posLists))
 	return ix
 }
 
-func (ix *Index) enter(n *xmltree.Node) {
-	ix.begin[n.OID] = len(ix.order)
-	ix.byLabel[n.Label] = append(ix.byLabel[n.Label], len(ix.order))
+func (ix *Index) enter(n *xmltree.Node, parent int32) {
+	pos := len(ix.order)
+	ix.begin[n.OID] = pos
+	lid, ok := ix.labelIDs[n.Label]
+	if !ok {
+		lid = len(ix.posLists)
+		ix.labelIDs[n.Label] = lid
+		ix.posLists = append(ix.posLists, nil)
+	}
+	ix.posLists[lid] = append(ix.posLists[lid], int32(pos))
+	ix.parentPos = append(ix.parentPos, parent)
 	ix.order = append(ix.order, n)
+}
+
+// labelID resolves a label to its dense ID; ok is false when the label does
+// not occur in the document (no element can match it).
+func (ix *Index) labelID(label string) (int, bool) {
+	lid, ok := ix.labelIDs[label]
+	return lid, ok
+}
+
+// posRange returns the ascending pre-order positions of label-lid elements
+// within e's proper subtree, as a sub-slice of the index's position list
+// (no allocation).
+func (ix *Index) posRange(lid int, e *xmltree.Node) []int32 {
+	positions := ix.posLists[lid]
+	lo := int32(ix.begin[e.OID] + 1)
+	hi := int32(ix.end[e.OID])
+	if len(positions) >= rankThreshold {
+		r := ix.rank(lid)
+		return positions[r[lo]:r[hi]]
+	}
+	i := searchGE(positions, lo)
+	j := i + searchGE(positions[i:], hi)
+	return positions[i:j]
+}
+
+// rankThreshold is the position-list size above which posRange switches
+// from binary search to the O(1) rank array; short lists are not worth the
+// O(|T|) build and memory.
+const rankThreshold = 64
+
+func (ix *Index) rank(lid int) []int32 {
+	if r := ix.ranks[lid].Load(); r != nil {
+		return *r
+	}
+	n := len(ix.order)
+	r := make([]int32, n+1)
+	for _, pos := range ix.posLists[lid] {
+		r[pos+1] = 1
+	}
+	for p := 1; p <= n; p++ {
+		r[p] += r[p-1]
+	}
+	ix.ranks[lid].Store(&r)
+	return r
+}
+
+// searchGE returns the first index whose value is >= v in the ascending
+// slice a (sort.Search without the per-iteration closure call, which is
+// measurable in the eval tail).
+func searchGE(a []int32, v int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if a[m] < v {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// countChildren counts e's direct children with label lid without
+// materializing them; same strategy selection as appendChildren.
+func (ix *Index) countChildren(e *xmltree.Node, lid int) int {
+	rng := ix.posRange(lid, e)
+	if len(rng) == 0 {
+		return 0
+	}
+	n := 0
+	if len(rng) < len(e.Children) {
+		ep := int32(ix.begin[e.OID])
+		for _, pos := range rng {
+			if ix.parentPos[pos] == ep {
+				n++
+			}
+		}
+		return n
+	}
+	label := ix.order[rng[0]].Label
+	for _, c := range e.Children {
+		if c.Label == label {
+			n++
+		}
+	}
+	return n
 }
 
 // Children returns e's direct children with the given label, in document
 // order.
 func (ix *Index) Children(e *xmltree.Node, label string) []*xmltree.Node {
-	var out []*xmltree.Node
+	lid, ok := ix.labelIDs[label]
+	if !ok {
+		return nil
+	}
+	return ix.appendChildren(nil, e, lid)
+}
+
+// appendChildren appends e's direct children with label lid to out, in
+// document order. When the subtree holds fewer label occurrences than e has
+// children, the label position list is scanned (filtering by parent
+// position) instead of walking every child; both strategies produce the
+// same sequence.
+func (ix *Index) appendChildren(out []*xmltree.Node, e *xmltree.Node, lid int) []*xmltree.Node {
+	rng := ix.posRange(lid, e)
+	if len(rng) == 0 {
+		return out
+	}
+	if out == nil {
+		out = make([]*xmltree.Node, 0, len(rng))
+	}
+	if len(rng) < len(e.Children) {
+		ep := int32(ix.begin[e.OID])
+		for _, pos := range rng {
+			if ix.parentPos[pos] == ep {
+				out = append(out, ix.order[pos])
+			}
+		}
+		return out
+	}
 	for _, c := range e.Children {
-		if c.Label == label {
+		if c.Label == ix.order[rng[0]].Label {
 			out = append(out, c)
 		}
 	}
@@ -78,13 +218,14 @@ func (ix *Index) Children(e *xmltree.Node, label string) []*xmltree.Node {
 // Descendants returns e's proper descendants with the given label, in
 // document order.
 func (ix *Index) Descendants(e *xmltree.Node, label string) []*xmltree.Node {
-	positions := ix.byLabel[label]
-	lo := ix.begin[e.OID] + 1
-	hi := ix.end[e.OID]
-	i := sort.SearchInts(positions, lo)
+	lid, ok := ix.labelIDs[label]
+	if !ok {
+		return nil
+	}
+	rng := ix.posRange(lid, e)
 	var out []*xmltree.Node
-	for ; i < len(positions) && positions[i] < hi; i++ {
-		out = append(out, ix.order[positions[i]])
+	for _, pos := range rng {
+		out = append(out, ix.order[pos])
 	}
 	return out
 }
@@ -95,4 +236,75 @@ func (ix *Index) IsAncestor(a, d *xmltree.Node) bool {
 		return false
 	}
 	return ix.begin[a.OID] <= ix.begin[d.OID] && ix.begin[d.OID] < ix.end[a.OID]
+}
+
+// grabScratch takes the pooled scratch (or allocates a fresh one when the
+// pool is empty or another evaluation holds it) and advances its epoch so
+// every memo cell reads as unset.
+func (ix *Index) grabScratch() *exactScratch {
+	sc := ix.scratch.Swap(nil)
+	if sc == nil {
+		sc = &exactScratch{}
+	}
+	sc.epoch++
+	return sc
+}
+
+// releaseScratch returns scratch to the pool for the next evaluation.
+func (ix *Index) releaseScratch(sc *exactScratch) {
+	ix.scratch.Store(sc)
+}
+
+// exactScratch holds the dense epoch-stamped memo tables the exact
+// evaluator reuses across queries on one index: validity and tuple-count
+// cells keyed by (query-variable, element-OID) slot, predicate cells keyed
+// by (predicate, element-OID) slot, and a per-position seen array for
+// document-order deduplication. Epoch stamping invalidates every cell in
+// O(1) when a new evaluation grabs the scratch, replacing the per-query map
+// allocations that dominated the exact-eval tail.
+type exactScratch struct {
+	epoch int32
+
+	validEp  []int32
+	validVal []int8 // 1 valid, 2 invalid (or in progress)
+	tupEp    []int32
+	tupVal   []float64
+	predEp   []int32
+	predVal  []bool
+	matchEp  []int32
+	matchVal [][]*xmltree.Node // (edge, element-OID) slot -> path matches
+	countEp  []int32
+	countVal []int32 // (edge, element-OID) slot -> countPath result
+
+	seenEp  []int32 // pre-order position -> last seen mark
+	seenCtr int32
+}
+
+// ensure grows the memo tables to cover the given slot counts.
+func (sc *exactScratch) ensure(validSlots, predSlots, matchSlots, positions int) {
+	if len(sc.validEp) < validSlots {
+		sc.validEp = make([]int32, validSlots)
+		sc.validVal = make([]int8, validSlots)
+		sc.tupEp = make([]int32, validSlots)
+		sc.tupVal = make([]float64, validSlots)
+	}
+	if len(sc.predEp) < predSlots {
+		sc.predEp = make([]int32, predSlots)
+		sc.predVal = make([]bool, predSlots)
+	}
+	if len(sc.matchEp) < matchSlots {
+		sc.matchEp = make([]int32, matchSlots)
+		sc.matchVal = make([][]*xmltree.Node, matchSlots)
+		sc.countEp = make([]int32, matchSlots)
+		sc.countVal = make([]int32, matchSlots)
+	}
+	if len(sc.seenEp) < positions {
+		sc.seenEp = make([]int32, positions)
+	}
+}
+
+// beginSeen starts a fresh deduplication pass and returns its mark.
+func (sc *exactScratch) beginSeen() int32 {
+	sc.seenCtr++
+	return sc.seenCtr
 }

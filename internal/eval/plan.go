@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"sync"
+
+	"treesketch/internal/query"
+)
+
+// qplan is the compiled, normalized form of a twig query used by the
+// approximate evaluator's fast path: query variables stay in pre-order
+// (the topological order processEdge relies on), and every path expression
+// — main paths and nested branching predicates alike — carries its
+// precomputed per-edge label set so enumeration can refuse to start when a
+// label is absent from the synopsis.
+//
+// Plans are immutable after compilation and cached per *query.Query
+// process-wide (queries are evaluated repeatedly by the bench and
+// experiment harnesses), so concurrent Approx calls share one plan.
+type qplan struct {
+	paths map[*query.Path]*pathPlan
+}
+
+// pathPlan is the compiled form of one path expression.
+type pathPlan struct {
+	// labels is the deduplicated set of step labels along the main path
+	// (predicates compile to their own pathPlan). If any of them does not
+	// occur in a synopsis, the path has zero embeddings there.
+	labels []string
+	// hasPreds marks that some step carries a branching predicate, which
+	// forces embeddings to be materialized (the best step assignment is
+	// picked per node path); predicate-free paths stream instead.
+	hasPreds bool
+	// canDup marks that one synopsis node path can be emitted under more
+	// than one step assignment, which requires deduplication during
+	// enumeration. The emitted node sequence records every traversed
+	// synopsis node, so a walk's length pins each Child step and each
+	// single Descendant step to one position; only two or more Descendant
+	// steps leave assignment freedom.
+	canDup bool
+}
+
+// planCache memoizes compiled plans per query identity. Entries are tiny
+// (a handful of small slices per path expression) and queries are shared
+// workload objects, so unbounded growth is not a concern in practice.
+var planCache sync.Map // *query.Query -> *qplan
+
+// planFor returns the compiled plan of q, compiling and caching it on
+// first use. cached reports whether the plan came from the cache.
+func planFor(q *query.Query) (p *qplan, cached bool) {
+	if v, ok := planCache.Load(q); ok {
+		return v.(*qplan), true
+	}
+	p = compilePlan(q)
+	if v, loaded := planCache.LoadOrStore(q, p); loaded {
+		return v.(*qplan), true
+	}
+	return p, false
+}
+
+func compilePlan(q *query.Query) *qplan {
+	p := &qplan{paths: make(map[*query.Path]*pathPlan)}
+	var addPath func(path *query.Path)
+	addPath = func(path *query.Path) {
+		if _, ok := p.paths[path]; ok {
+			return
+		}
+		pp := &pathPlan{}
+		seen := make(map[string]bool)
+		descSteps := 0
+		for si := range path.Steps {
+			step := &path.Steps[si]
+			if !seen[step.Label] {
+				seen[step.Label] = true
+				pp.labels = append(pp.labels, step.Label)
+			}
+			if step.Axis == query.Descendant {
+				descSteps++
+			}
+			if len(step.Preds) > 0 {
+				pp.hasPreds = true
+			}
+			for _, pred := range step.Preds {
+				addPath(pred)
+			}
+		}
+		pp.canDup = descSteps >= 2
+		p.paths[path] = pp
+	}
+	for _, qn := range q.Vars() {
+		for _, e := range qn.Edges {
+			addPath(e.Path)
+		}
+	}
+	return p
+}
+
+// canTab returns (building on first use) the can-complete memo of one path
+// expression over the evaluation's synopsis: plane one holds canRec(node,
+// si) — "enumerating steps[si:] from node emits at least one embedding" —
+// and plane two holds canDesc(node, si), the same question for the
+// descendant-axis search that explores strictly below node. DFS branches
+// whose entry is false are pruned without being walked; because the memo
+// answers existence exactly (not a label-reachability approximation), every
+// surviving branch leads to an emission, which is what bounds the
+// enumeration tail by output size rather than synopsis size.
+func (a *approxer) canTab(p *query.Path) []int8 {
+	if t, ok := a.canTabs[p]; ok {
+		return t
+	}
+	t := make([]int8, 2*len(p.Steps)*len(a.sk.Nodes))
+	if a.canTabs == nil {
+		a.canTabs = make(map[*query.Path][]int8)
+	}
+	a.canTabs[p] = t
+	return t
+}
+
+// canRec reports whether enumerating steps[si:] from node yields at least
+// one embedding. Memo values: 0 unknown, 1 yes, 2 no (also the in-progress
+// marker, which keeps malformed cyclic inputs from recursing forever).
+func (a *approxer) canRec(tab []int8, steps []query.Step, node, si int) bool {
+	if si == len(steps) {
+		return true
+	}
+	n := len(a.sk.Nodes)
+	slot := si*n + node
+	if v := tab[slot]; v != 0 {
+		a.canHits++
+		return v == 1
+	}
+	tab[slot] = 2
+	step := &steps[si]
+	res := false
+	if u := a.sk.Nodes[node]; u != nil {
+		if step.Axis == query.Child {
+			for _, e := range u.Edges {
+				c := a.sk.Nodes[e.Child]
+				if c != nil && c.Label == step.Label && a.canRec(tab, steps, e.Child, si+1) {
+					res = true
+					break
+				}
+			}
+		} else {
+			res = a.canDesc(tab, steps, node, si)
+		}
+	}
+	if res {
+		tab[slot] = 1
+	}
+	return res
+}
+
+// canDesc reports whether the descendant-axis search for steps[si:] rooted
+// strictly below node can land on a matching element and complete.
+func (a *approxer) canDesc(tab []int8, steps []query.Step, node, si int) bool {
+	n := len(a.sk.Nodes)
+	slot := (len(steps)+si)*n + node
+	if v := tab[slot]; v != 0 {
+		a.canHits++
+		return v == 1
+	}
+	tab[slot] = 2
+	step := &steps[si]
+	res := false
+	if u := a.sk.Nodes[node]; u != nil {
+		for _, e := range u.Edges {
+			c := a.sk.Nodes[e.Child]
+			if c == nil {
+				continue
+			}
+			if c.Label == step.Label && a.canRec(tab, steps, e.Child, si+1) {
+				res = true
+				break
+			}
+			if a.canDesc(tab, steps, e.Child, si) {
+				res = true
+				break
+			}
+		}
+	}
+	if res {
+		tab[slot] = 1
+	}
+	return res
+}

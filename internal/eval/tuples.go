@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"treesketch/internal/obs"
 	"treesketch/internal/xmltree"
 )
 
@@ -21,6 +22,8 @@ func (r *ExactResult) BindingTuples(limit int) []BindingTuple {
 		return nil
 	}
 	ev := r.ev
+	ev.acquire()
+	defer ev.finish(obs.Default())
 	n := len(ev.qnodes)
 	var out []BindingTuple
 	cur := make(BindingTuple, n)
@@ -38,11 +41,11 @@ func (r *ExactResult) BindingTuples(limit int) []BindingTuple {
 			if ei == len(qn.Edges) {
 				return cont()
 			}
-			edge := qn.Edges[ei]
-			ci := ev.qidx[edge.Child]
+			ce := &ev.cedges[qi][ei]
+			ci := ce.child
 			matched := false
 			if e != nil {
-				for _, m := range ev.matches(edge, e) {
+				for _, m := range ev.matches(ce.slot, ce.path, e) {
 					if !ev.valid(ci, m) {
 						continue
 					}
@@ -53,7 +56,7 @@ func (r *ExactResult) BindingTuples(limit int) []BindingTuple {
 				}
 			}
 			if !matched {
-				if !edge.Optional {
+				if !ce.opt {
 					return true // dead branch; skip, keep enumerating
 				}
 				// NULL binding for the optional subtree.

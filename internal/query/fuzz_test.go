@@ -2,9 +2,9 @@ package query
 
 import "testing"
 
-// FuzzParse checks the parser never panics and that accepted queries
+// FuzzQueryParse checks the parser never panics and that accepted queries
 // round-trip through String/Parse to a fixed point.
-func FuzzParse(f *testing.F) {
+func FuzzQueryParse(f *testing.F) {
 	seeds := []string{
 		"//a",
 		"/a/b/c",

@@ -1,0 +1,125 @@
+// Command tslint runs the TreeSketch static-analysis suite (internal/lint)
+// over the module and exits nonzero when any invariant is violated.
+//
+// Usage:
+//
+//	tslint [-json] [-list] [patterns...]
+//
+// Patterns follow the usual go tool shape: "./..." (the default) checks the
+// whole module, "./internal/eval/..." restricts reported findings to that
+// subtree. The module root is located by walking up from the working
+// directory to the nearest go.mod. Exit status is 0 when clean, 1 when
+// findings were reported, and 2 on a load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"treesketch/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tslint [-json] [-list] [patterns...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tslint:", err)
+		os.Exit(2)
+	}
+	prog, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tslint:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.RunAll(prog, analyzers)
+	findings = filterByPatterns(findings, flag.Args())
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "tslint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "tslint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterByPatterns keeps findings whose module-relative file path falls
+// under one of the given patterns. No patterns, ".", or "./..." mean the
+// whole module.
+func filterByPatterns(findings []lint.Finding, patterns []string) []lint.Finding {
+	if len(patterns) == 0 {
+		return findings
+	}
+	var prefixes []string
+	for _, pat := range patterns {
+		pat = strings.TrimSuffix(pat, "...")
+		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.Trim(pat, "/")
+		if pat == "" || pat == "." {
+			return findings
+		}
+		prefixes = append(prefixes, pat+"/")
+	}
+	var out []lint.Finding
+	for _, f := range findings {
+		for _, prefix := range prefixes {
+			if strings.HasPrefix(f.File, prefix) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}

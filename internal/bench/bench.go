@@ -22,6 +22,7 @@ import (
 	"treesketch/internal/esd"
 	"treesketch/internal/eval"
 	"treesketch/internal/exp"
+	"treesketch/internal/metricname"
 	"treesketch/internal/obs"
 	"treesketch/internal/stable"
 	"treesketch/internal/tsbuild"
@@ -219,7 +220,7 @@ func benchDataset(res *Result, r *exp.Runner, reg *obs.Registry, cfg Config, ds 
 	ix := r.Index(ds)
 
 	// Exact-evaluation latency leg (budget-independent).
-	hExact := reg.Histogram("bench." + ds + ".exact_latency_seconds")
+	hExact := reg.Histogram("bench." + metricname.Clean(ds) + ".exact_latency_seconds")
 	exactCounters0 := counterTotals(reg, "eval.exact.")
 	exactTotal := measureLatencies(hExact, cfg.Repeats, len(w), func(i int) {
 		eval.Exact(ix, w[i].Q)
@@ -253,8 +254,8 @@ func benchDataset(res *Result, r *exp.Runner, reg *obs.Registry, cfg Config, ds 
 			"build.pool_rebuilds":       float64(stats.PoolRebuilds),
 			"build.pool_truncated":      float64(stats.PoolTruncated),
 			"build.stale_pops":          float64(stats.StalePops),
-			"phase_create_pool_seconds": after["tsbuild.createPool"] - before["tsbuild.createPool"],
-			"phase_merge_loop_seconds":  after["tsbuild.mergeLoop"] - before["tsbuild.mergeLoop"],
+			"phase_create_pool_seconds": after["tsbuild.create_pool"] - before["tsbuild.create_pool"],
+			"phase_merge_loop_seconds":  after["tsbuild.merge_loop"] - before["tsbuild.merge_loop"],
 			"phase_compact_seconds":     after["tsbuild.compact"] - before["tsbuild.compact"],
 		}
 
@@ -263,7 +264,7 @@ func benchDataset(res *Result, r *exp.Runner, reg *obs.Registry, cfg Config, ds 
 		// The accuracy pass doubles as the latency warm-up (the ESD and
 		// error computations are seed-deterministic, one pass suffices);
 		// the recorded passes then time only the evaluation itself.
-		hApprox := reg.Histogram(fmt.Sprintf("bench.%s.%02dkb.approx_latency_seconds", ds, budgetKB))
+		hApprox := reg.Histogram(fmt.Sprintf("bench.%s.%02dkb.approx_latency_seconds", metricname.Clean(ds), budgetKB))
 		evalOpts := eval.Options{Reference: cfg.ReferenceEval}
 		approxCounters0 := counterTotals(reg, "eval.approx.")
 		var errSum, esdSum float64

@@ -74,7 +74,7 @@ func TestRunProducesFullGrid(t *testing.T) {
 
 	// The embedded obs snapshot carries the raw latency distributions and
 	// the tsbuild phase timers the headline metrics were derived from.
-	if _, ok := res.Obs.Histograms["bench.XMark-TX.02kb.approx_latency_seconds"]; !ok {
+	if _, ok := res.Obs.Histograms["bench.xmark_tx.02kb.approx_latency_seconds"]; !ok {
 		t.Errorf("obs snapshot missing bench latency histogram (have %v)", sortedKeys(res.Obs.Histograms))
 	}
 	if _, ok := res.Obs.Timers["tsbuild.build"]; !ok {

@@ -283,7 +283,15 @@ func (a *approxer) conditionOnRequired() {
 			}
 			sums[cv] += e.K
 		}
-		for cv, sum := range sums {
+		// Drain in sorted child-var order: the survival factors multiply
+		// into f[i], and float products must not depend on map order.
+		cvs := make([]int, 0, len(sums))
+		for cv := range sums {
+			cvs = append(cvs, cv)
+		}
+		sort.Ints(cvs)
+		for _, cv := range cvs {
+			sum := sums[cv]
 			if sum >= 1 {
 				continue
 			}
@@ -854,9 +862,17 @@ func (a *approxer) branchSel(from int, pred *query.Path) float64 {
 			}
 		}
 		if len(perTerm) > 0 {
+			// Sorted drain: the complement product is a float accumulation
+			// and must not follow map iteration order.
+			terms := make([]int, 0, len(perTerm))
+			for term := range perTerm {
+				terms = append(terms, term)
+			}
+			sort.Ints(terms)
 			prod := 1.0
 			certain := false
-			for _, kl := range perTerm {
+			for _, term := range terms {
+				kl := perTerm[term]
 				if kl >= 1 {
 					certain = true
 					break

@@ -94,8 +94,8 @@ type evaluator struct {
 	q      *query.Query
 	qnodes []*query.Node
 	qidx   map[*query.Node]int
-	eidx   map[*query.Edge]int // edge -> dense edge slot base
-	pidx   map[*query.Path]int // predicate -> dense pred slot base
+	eidx   map[*query.Edge]int   // edge -> dense edge slot base
+	pidx   map[*query.Path]int   // predicate -> dense pred slot base
 	slids  map[*query.Step]int32 // step -> label ID (-1: label absent from document)
 	stride int                   // OID space of the document
 

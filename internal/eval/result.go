@@ -86,8 +86,16 @@ func (r *Result) Selectivity() float64 {
 		for _, e := range rn.Edges {
 			perVar[r.Nodes[e.Child].VarID] += e.K * tuples(e.Child)
 		}
+		// Sorted drain: the per-variable factors multiply into a float and
+		// must not follow map iteration order.
+		vars := make([]int, 0, len(perVar))
+		for v := range perVar {
+			vars = append(vars, v)
+		}
+		sort.Ints(vars)
 		total := 1.0
-		for v, s := range perVar {
+		for _, v := range vars {
+			s := perVar[v]
 			if v < len(r.VarOptional) && r.VarOptional[v] && s < 1 {
 				s = 1
 			}

@@ -1,0 +1,456 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EpochGuardAnalyzer enforces the epoch-stamped dense memo plane protocol in
+// package eval. A "plane" is a pair of parallel slices `<p>Ep`/`<p>Val` on a
+// struct that also carries an `epoch` field: a slot's value is only
+// meaningful when its Ep entry equals the current epoch, which lets the
+// scratch space be recycled without clearing (see exactScratch and
+// pathTrie).
+//
+// The analyzer performs a lexical dominance walk over every function in
+// package eval:
+//
+//   - reading `x.<p>Val[i]` requires an enclosing `x.<p>Ep[i] == e.epoch`
+//     check (the then-branch of ==, the else-branch of !=; && unions guards),
+//     or an earlier `x.<p>Ep[i] = e.epoch` stamp in the same block;
+//   - writing `x.<p>Val[i]` requires the stamp (or a guard) to dominate the
+//     write, so a slot can never hold a fresh value with a stale epoch.
+//
+// Function literals start with an empty guard set: a closure cannot inherit
+// a guard that may no longer hold when it runs.
+var EpochGuardAnalyzer = &Analyzer{
+	Name:      "epochguard",
+	Doc:       "epoch-plane access not dominated by an epoch check or stamp",
+	Directive: "epochguard",
+	Run:       runEpochGuard,
+}
+
+func runEpochGuard(p *Program) []Finding {
+	var out []Finding
+	for _, pkg := range packagesNamed(p, "eval") {
+		planes := epochPlanes(pkg)
+		if len(planes) == 0 {
+			continue
+		}
+		w := &epochWalker{prog: p, pkg: pkg, planes: planes}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					w.block(fd.Body, newGuardSet(nil))
+				}
+			}
+		}
+		out = append(out, w.findings...)
+	}
+	return out
+}
+
+// epochPlanes scans the package's struct types for epoch-stamped planes:
+// a struct with an `epoch` field and at least one `<p>Ep`/`<p>Val` slice
+// pair. The result maps the *types.Struct to its plane prefixes.
+func epochPlanes(pkg *Package) map[*types.Struct]map[string]bool {
+	out := make(map[*types.Struct]map[string]bool)
+	if pkg.Types == nil {
+		return out
+	}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		hasEpoch := false
+		fields := make(map[string]types.Type, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			fields[f.Name()] = f.Type()
+			if f.Name() == "epoch" {
+				if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					hasEpoch = true
+				}
+			}
+		}
+		if !hasEpoch {
+			continue
+		}
+		prefixes := make(map[string]bool)
+		for fname, ftype := range fields {
+			prefix, ok := strings.CutSuffix(fname, "Ep")
+			if !ok || prefix == "" {
+				continue
+			}
+			if _, ok := ftype.Underlying().(*types.Slice); !ok {
+				continue
+			}
+			val, ok := fields[prefix+"Val"]
+			if !ok {
+				continue
+			}
+			if _, ok := val.Underlying().(*types.Slice); !ok {
+				continue
+			}
+			prefixes[prefix] = true
+		}
+		if len(prefixes) > 0 {
+			out[st] = prefixes
+		}
+	}
+	return out
+}
+
+// guardSet tracks which plane slots are currently proven valid. Keys are
+// canonical "base.prefix[index]" strings from planeKey. Sets are persistent:
+// with extends a parent without mutating it.
+type guardSet struct {
+	parent *guardSet
+	keys   map[string]bool
+}
+
+func newGuardSet(parent *guardSet) *guardSet { return &guardSet{parent: parent} }
+
+func (g *guardSet) has(key string) bool {
+	for s := g; s != nil; s = s.parent {
+		if s.keys[key] {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *guardSet) add(key string) {
+	if g.keys == nil {
+		g.keys = make(map[string]bool)
+	}
+	g.keys[key] = true
+}
+
+// planeAccess describes one syntactic access x.<p>Ep[i] or x.<p>Val[i].
+type planeAccess struct {
+	key    string // "x.p[i]" canonical slot identity
+	prefix string
+	isVal  bool
+	node   *ast.IndexExpr
+}
+
+type epochWalker struct {
+	prog     *Program
+	pkg      *Package
+	planes   map[*types.Struct]map[string]bool
+	findings []Finding
+}
+
+// planeAccessOf decodes an index expression into a plane access if its base
+// is a `<p>Ep` or `<p>Val` field of a plane-carrying struct.
+func (w *epochWalker) planeAccessOf(idx *ast.IndexExpr) *planeAccess {
+	sel, ok := idx.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	recvType := w.pkg.Info.Types[sel.X].Type
+	if recvType == nil {
+		return nil
+	}
+	if ptr, ok := recvType.Underlying().(*types.Pointer); ok {
+		recvType = ptr.Elem()
+	}
+	st, ok := recvType.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	prefixes := w.planesFor(st)
+	if prefixes == nil {
+		return nil
+	}
+	name := sel.Sel.Name
+	for _, suffix := range []string{"Ep", "Val"} {
+		prefix, ok := strings.CutSuffix(name, suffix)
+		if !ok || !prefixes[prefix] {
+			continue
+		}
+		key := types.ExprString(sel.X) + "." + prefix + "[" + types.ExprString(idx.Index) + "]"
+		return &planeAccess{key: key, prefix: prefix, isVal: suffix == "Val", node: idx}
+	}
+	return nil
+}
+
+// planesFor matches a struct against the discovered plane set, comparing by
+// identity first and by structural equality as a fallback (the struct seen
+// through a field access can be a distinct *types.Struct value).
+func (w *epochWalker) planesFor(st *types.Struct) map[string]bool {
+	if p, ok := w.planes[st]; ok {
+		return p
+	}
+	for known, p := range w.planes {
+		if types.Identical(known, st) {
+			return p
+		}
+	}
+	return nil
+}
+
+// isEpochExpr reports whether e reads the `epoch` field of some struct (the
+// right-hand side of a guard comparison or a stamp).
+func (w *epochWalker) isEpochExpr(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "epoch"
+}
+
+// guardsOf extracts the plane slots proven valid by cond being true (eq) or
+// false (!eq). `a && b` unions its operands' guards for the true branch;
+// `a || b` unions for the false branch.
+func (w *epochWalker) guardsOf(cond ast.Expr, wantTrue bool) []string {
+	cond = ast.Unparen(cond)
+	switch e := cond.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if wantTrue {
+				return append(w.guardsOf(e.X, true), w.guardsOf(e.Y, true)...)
+			}
+		case token.LOR:
+			if !wantTrue {
+				return append(w.guardsOf(e.X, false), w.guardsOf(e.Y, false)...)
+			}
+		case token.EQL, token.NEQ:
+			matches := (e.Op == token.EQL) == wantTrue
+			if !matches {
+				return nil
+			}
+			for _, pair := range [][2]ast.Expr{{e.X, e.Y}, {e.Y, e.X}} {
+				idx, ok := ast.Unparen(pair[0]).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				pa := w.planeAccessOf(idx)
+				if pa == nil || pa.isVal {
+					continue
+				}
+				if w.isEpochExpr(pair[1]) {
+					return []string{pa.key}
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return w.guardsOf(e.X, !wantTrue)
+		}
+	}
+	return nil
+}
+
+// stampOf returns the slot key when stmt is an epoch stamp
+// `x.<p>Ep[i] = e.epoch` (possibly among parallel assignments).
+func (w *epochWalker) stampOf(stmt ast.Stmt) []string {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+		return nil
+	}
+	var keys []string
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		pa := w.planeAccessOf(idx)
+		if pa == nil || pa.isVal {
+			continue
+		}
+		if w.isEpochExpr(as.Rhs[i]) {
+			keys = append(keys, pa.key)
+		}
+	}
+	return keys
+}
+
+// block walks a statement list, threading stamps forward: a stamp enables
+// the remainder of its block and all nested scopes.
+func (w *epochWalker) block(b *ast.BlockStmt, g *guardSet) {
+	local := newGuardSet(g)
+	for _, stmt := range b.List {
+		w.stmt(stmt, local)
+		for _, key := range w.stampOf(stmt) {
+			local.add(key)
+		}
+	}
+}
+
+func (w *epochWalker) stmt(s ast.Stmt, g *guardSet) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.block(s, g)
+	case *ast.IfStmt:
+		scope := g
+		if s.Init != nil {
+			scope = newGuardSet(g)
+			w.stmt(s.Init, scope)
+			for _, key := range w.stampOf(s.Init) {
+				scope.add(key)
+			}
+		}
+		w.expr(s.Cond, scope)
+		then := newGuardSet(scope)
+		for _, key := range w.guardsOf(s.Cond, true) {
+			then.add(key)
+		}
+		w.block(s.Body, then)
+		if s.Else != nil {
+			els := newGuardSet(scope)
+			for _, key := range w.guardsOf(s.Cond, false) {
+				els.add(key)
+			}
+			w.stmt(s.Else, els)
+		}
+	case *ast.ForStmt:
+		scope := newGuardSet(g)
+		if s.Init != nil {
+			w.stmt(s.Init, scope)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, scope)
+		}
+		if s.Post != nil {
+			w.stmt(s.Post, scope)
+		}
+		w.block(s.Body, scope)
+	case *ast.RangeStmt:
+		w.expr(s.X, g)
+		w.block(s.Body, newGuardSet(g))
+	case *ast.SwitchStmt:
+		scope := newGuardSet(g)
+		if s.Init != nil {
+			w.stmt(s.Init, scope)
+			for _, key := range w.stampOf(s.Init) {
+				scope.add(key)
+			}
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, scope)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e, scope)
+				}
+				inner := newGuardSet(scope)
+				for _, st := range cc.Body {
+					w.stmt(st, inner)
+					for _, key := range w.stampOf(st) {
+						inner.add(key)
+					}
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.walkExprsIn(s, g)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs, g)
+		}
+		stamps := w.stampOf(s)
+		for _, lhs := range s.Lhs {
+			w.assignTarget(lhs, g, stamps)
+		}
+	case *ast.IncDecStmt:
+		w.assignTarget(s.X, g, nil)
+	case *ast.ExprStmt:
+		w.expr(s.X, g)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, g)
+		}
+	case *ast.DeclStmt:
+		w.walkExprsIn(s, g)
+	case *ast.GoStmt:
+		w.expr(s.Call, g)
+	case *ast.DeferStmt:
+		w.expr(s.Call, g)
+	case *ast.SendStmt:
+		w.expr(s.Chan, g)
+		w.expr(s.Value, g)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, g)
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, g)
+				}
+				inner := newGuardSet(g)
+				for _, st := range cc.Body {
+					w.stmt(st, inner)
+					for _, key := range w.stampOf(st) {
+						inner.add(key)
+					}
+				}
+			}
+		}
+	}
+}
+
+// assignTarget checks a left-hand side. A Val write is legal when its slot
+// is enabled by a guard, an earlier stamp, or a stamp in this very
+// statement (the common `Ep[i], Val[i] = epoch, v` form).
+func (w *epochWalker) assignTarget(lhs ast.Expr, g *guardSet, stamps []string) {
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		if pa := w.planeAccessOf(idx); pa != nil {
+			if pa.isVal && !g.has(pa.key) && !contains(stamps, pa.key) {
+				w.findings = append(w.findings, finding(w.prog, idx.Pos(),
+					"write to epoch plane %sVal without a dominating epoch stamp (%sEp[...] = epoch)", pa.prefix, pa.prefix))
+			}
+			w.expr(idx.Index, g)
+			return
+		}
+	}
+	w.expr(lhs, g)
+}
+
+// expr flags unguarded Val reads anywhere in an expression tree. Function
+// literals restart with an empty guard set.
+func (w *epochWalker) expr(e ast.Expr, g *guardSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != nil {
+				w.block(n.Body, newGuardSet(nil))
+			}
+			return false
+		case *ast.IndexExpr:
+			if pa := w.planeAccessOf(n); pa != nil && pa.isVal && !g.has(pa.key) {
+				w.findings = append(w.findings, finding(w.prog, n.Pos(),
+					"read of epoch plane %sVal not dominated by an epoch check (%sEp[...] == epoch)", pa.prefix, pa.prefix))
+				w.expr(n.Index, g)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// walkExprsIn is the conservative fallback for statements with no special
+// dominance handling: visit every nested expression with the current set.
+func (w *epochWalker) walkExprsIn(n ast.Node, g *guardSet) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if e, ok := child.(ast.Expr); ok {
+			w.expr(e, g)
+			return false
+		}
+		return true
+	})
+}

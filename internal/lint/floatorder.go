@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrderAnalyzer flags floating-point compound accumulation (+=, -=,
+// *=, /=) into variables captured from outside a goroutine body, in the
+// packages that run parallel numeric work (tsbuild, eval). Float addition
+// is not associative: accumulating into a shared variable from concurrently
+// scheduled goroutines makes the final bits depend on completion order even
+// when the writes are mutex-protected. Parallel code must instead
+// accumulate into per-goroutine slots (an indexed slice cell or a worker
+// context passed as the goroutine's parameter) and reduce in a fixed order
+// afterwards — the order-independent reduction pattern used by the TSBuild
+// candidate evaluator.
+var FloatOrderAnalyzer = &Analyzer{
+	Name:      "floatorder",
+	Doc:       "order-dependent float accumulation into a captured variable inside a goroutine",
+	Directive: "floatorder",
+	Run:       runFloatOrder,
+}
+
+func runFloatOrder(p *Program) []Finding {
+	var out []Finding
+	for _, pkg := range packagesNamed(p, "tsbuild", "eval") {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := gs.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				out = append(out, capturedFloatAccums(p, pkg, lit)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+var compoundOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true,
+}
+
+// capturedFloatAccums reports float compound assignments inside lit whose
+// target's root variable is declared outside the literal (i.e. captured and
+// potentially shared with other goroutines).
+func capturedFloatAccums(p *Program, pkg *Package, lit *ast.FuncLit) []Finding {
+	var out []Finding
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !compoundOps[as.Tok] || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs := as.Lhs[0]
+		if !isFloatExpr(pkg, lhs) {
+			return true
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			return true
+		}
+		obj := pkg.Info.Uses[root]
+		if obj == nil {
+			obj = pkg.Info.Defs[root]
+		}
+		if obj == nil || obj.Pos() == token.NoPos {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the goroutine (parameter or local)
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if indexedByInnerVar(pkg, lhs, lit) {
+			// Captured slice indexed by a goroutine-local variable: the
+			// per-worker-slot shape of the order-independent reduction.
+			return true
+		}
+		out = append(out, finding(p, as.Pos(),
+			"float accumulation into captured %q inside a goroutine is completion-order dependent; accumulate per-goroutine and reduce in fixed order", root.Name))
+		return true
+	})
+	return out
+}
+
+// isFloatExpr reports whether e has a floating-point type.
+func isFloatExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// indexedByInnerVar reports whether any index expression along the lvalue
+// chain references a variable declared inside the goroutine literal — the
+// per-worker slot (acc[worker] += v) that makes concurrent accumulation
+// order-independent.
+func indexedByInnerVar(pkg *Package, e ast.Expr, lit *ast.FuncLit) bool {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			inner := false
+			ast.Inspect(t.Index, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil {
+					obj = pkg.Info.Defs[id]
+				}
+				if v, okVar := obj.(*types.Var); okVar &&
+					v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+					inner = true
+				}
+				return !inner
+			})
+			if inner {
+				return true
+			}
+			e = t.X
+		default:
+			return false
+		}
+	}
+}
+
+// rootIdent returns the base identifier of an lvalue chain like
+// x.field[i].y, or nil when the base is not an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package lint is the project-specific static-analysis suite for the
+// TreeSketch repository. It is built purely on the standard library's
+// go/ast, go/parser, go/types, and go/token packages (no external analysis
+// framework) and enforces invariants the compiler cannot: deterministic
+// iteration in build/eval code, epoch-guarded access to dense memo planes,
+// canonical observability metric names, absence of wall-clock and global
+// randomness on fingerprint-critical paths, and order-independent float
+// reduction across goroutines.
+//
+// Each Analyzer runs over a type-checked Program (see Load) and returns
+// Findings. A finding can be suppressed by a justification comment on the
+// same line or the line immediately above:
+//
+//	//lint:<directive> <reason>
+//
+// where <directive> is the analyzer's directive name (e.g. "sorted" for
+// mapiter, "nondet" for the determinism analyzer). The reason is mandatory;
+// a bare directive is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"` // module-relative path
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a loaded Program.
+type Analyzer struct {
+	Name      string
+	Doc       string
+	Directive string // suppression directive accepted in //lint: comments
+	Run       func(p *Program) []Finding
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapIterAnalyzer,
+		EpochGuardAnalyzer,
+		MetricNameAnalyzer,
+		NonDetAnalyzer,
+		FloatOrderAnalyzer,
+	}
+}
+
+// suppression is one parsed //lint:<directive> <reason> comment.
+type suppression struct {
+	directive string
+	reason    string
+	line      int
+	pos       token.Position
+}
+
+// collectSuppressions extracts //lint: directives from a file's comments.
+func collectSuppressions(fset *token.FileSet, f *ast.File) []suppression {
+	var out []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			directive, reason, _ := strings.Cut(text, " ")
+			pos := fset.Position(c.Pos())
+			out = append(out, suppression{
+				directive: strings.TrimSpace(directive),
+				reason:    strings.TrimSpace(reason),
+				line:      pos.Line,
+				pos:       pos,
+			})
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding at pos is covered by a justified
+// directive on the same line or the line immediately above.
+func (p *Program) suppressed(directive string, pos token.Position) bool {
+	for _, sups := range p.suppress {
+		for _, s := range sups {
+			if s.directive == directive && s.reason != "" && s.pos.Filename == pos.Filename &&
+				(s.line == pos.Line || s.line == pos.Line-1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunAll executes the given analyzers over the program, applies //lint:
+// suppressions, reports bare (reason-less) directives, and returns the
+// surviving findings sorted by file, line, column, and analyzer.
+func RunAll(prog *Program, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		for _, f := range a.Run(prog) {
+			if prog.suppressed(a.Directive, f.Pos) {
+				continue
+			}
+			f.Analyzer = a.Name
+			f.File = prog.RelFile(f.Pos.Filename)
+			f.Line = f.Pos.Line
+			f.Column = f.Pos.Column
+			out = append(out, f)
+		}
+		// A bare directive asserts an exemption without saying why; that is
+		// a finding in its own right.
+		for _, sups := range prog.suppress {
+			for _, s := range sups {
+				if s.directive == a.Directive && s.reason == "" {
+					out = append(out, Finding{
+						Analyzer: a.Name,
+						Pos:      s.pos,
+						File:     prog.RelFile(s.pos.Filename),
+						Line:     s.pos.Line,
+						Column:   s.pos.Column,
+						Message:  fmt.Sprintf("//lint:%s requires a justification (\"//lint:%s <reason>\")", a.Directive, a.Directive),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// --- shared analyzer helpers ---
+
+// packagesNamed yields the loaded packages whose package name (not import
+// path) is in names. Matching by name lets testdata fixtures replicate the
+// real packages' configuration.
+func packagesNamed(p *Program, names ...string) []*Package {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*Package
+	for _, pkg := range p.Packages {
+		if want[pkg.Name] {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// contains reports whether a string slice holds s.
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// finding builds a Finding at pos with a formatted message.
+func finding(p *Program, pos token.Pos, format string, args ...any) Finding {
+	return Finding{Pos: p.Fset.Position(pos), Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// analyzerByName resolves one analyzer from the registered suite.
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// want is one expectation parsed from a fixture comment: the finding's
+// message at (file, line) must match re.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRe extracts the quoted regexes of a `want "re" "re"...` comment body.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants scans every fixture .go file for comments of the form
+// `/* want "regex" ... */` or `// want "regex" ...`. Paths are returned
+// relative to root, matching Finding.File.
+func collectWants(t *testing.T, root string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "want \"")
+			if idx < 0 {
+				continue
+			}
+			if pre := strings.TrimSpace(line[:idx]); !strings.HasSuffix(pre, "/*") && !strings.HasSuffix(pre, "//") {
+				continue
+			}
+			for _, q := range wantRe.FindAllString(line[idx:], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want string %s: %v", rel, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp %q: %v", rel, i+1, pat, err)
+				}
+				wants = append(wants, &want{file: rel, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestFixtures runs each analyzer over its deliberately broken fixture
+// module and asserts the produced findings line up one-to-one with the
+// `want` comments: every finding must be expected at its exact position,
+// and every expectation must be hit.
+func TestFixtures(t *testing.T) {
+	cases := []string{"mapiter", "epochguard", "metricname", "nondet", "floatorder"}
+	for _, name := range cases {
+		t.Run(name, func(t *testing.T) {
+			a := analyzerByName(t, name)
+			root := filepath.Join("testdata", "src", name)
+			prog, err := Load(root)
+			if err != nil {
+				t.Fatalf("Load(%s): %v", root, err)
+			}
+			for _, pkg := range prog.Packages {
+				if len(pkg.TypeErrors) > 0 {
+					t.Fatalf("fixture %s has type errors: %v", pkg.ImportPath, pkg.TypeErrors)
+				}
+			}
+			findings := RunAll(prog, []*Analyzer{a})
+			wants := collectWants(t, root)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s declares no want comments", name)
+			}
+			for _, f := range findings {
+				matched := false
+				for _, w := range wants {
+					if !w.used && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+						w.used = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.used {
+					t.Errorf("missing finding at %s:%d matching %q", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestCleanFixture runs the entire suite over a fully conforming module:
+// zero findings.
+func TestCleanFixture(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "src", "clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range prog.Packages {
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("clean fixture %s has type errors: %v", pkg.ImportPath, pkg.TypeErrors)
+		}
+	}
+	if findings := RunAll(prog, Analyzers()); len(findings) != 0 {
+		for _, f := range findings {
+			t.Errorf("clean fixture finding: %s", f)
+		}
+	}
+}
+
+// TestModuleClean is the self-check the CI lint job relies on: the suite
+// must be green over the repository itself.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings := RunAll(prog, Analyzers()); len(findings) != 0 {
+		for _, f := range findings {
+			t.Errorf("module finding: %s", f)
+		}
+	}
+}
+
+// TestRunAllDeterministic guards the ordering contract: two runs over the
+// same fixture produce identical output.
+func TestRunAllDeterministic(t *testing.T) {
+	root := filepath.Join("testdata", "src", "metricname")
+	render := func() string {
+		prog, err := Load(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, f := range RunAll(prog, Analyzers()) {
+			b.WriteString(f.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	first := render()
+	for i := 0; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i+2, got, first)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package as the analyzers see it:
+// parsed non-test files plus the go/types artifacts for them.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checker complaints without aborting the
+	// load; analyzers run best-effort over partially checked packages.
+	TypeErrors []error
+}
+
+// Program is a loaded module: every package under the module root (tests
+// and testdata excluded), type-checked in dependency order against a shared
+// FileSet.
+type Program struct {
+	ModulePath string
+	Root       string
+	Fset       *token.FileSet
+	Packages   []*Package // sorted by import path
+
+	byPath   map[string]*Package
+	suppress map[*ast.File][]suppression
+}
+
+// Load parses and type-checks the module rooted at root (the directory
+// holding go.mod). Test files, testdata, vendor, and hidden directories are
+// skipped. Module-internal imports resolve to the packages being loaded;
+// everything else resolves through the toolchain's export data (with a
+// source-importer fallback), so the loader stays on the standard library.
+func Load(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		ModulePath: modPath,
+		Root:       root,
+		Fset:       token.NewFileSet(),
+		byPath:     make(map[string]*Package),
+		suppress:   make(map[*ast.File][]suppression),
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		pkg, err := prog.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			prog.Packages = append(prog.Packages, pkg)
+			prog.byPath[pkg.ImportPath] = pkg
+		}
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool {
+		return prog.Packages[i].ImportPath < prog.Packages[j].ImportPath
+	})
+
+	if err := prog.typeCheckAll(); err != nil {
+		return nil, err
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			prog.suppress[f] = collectSuppressions(prog.Fset, f)
+		}
+	}
+	return prog, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// packageDirs walks the module tree collecting directories that hold
+// non-test Go files.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses the non-test Go files of one directory into a Package
+// (types not yet checked). Returns nil when the directory holds no
+// parseable package.
+func (p *Program) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(p.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := p.ModulePath
+	if rel != "." {
+		importPath = p.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{ImportPath: importPath, Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		if f.Name.Name != pkg.Name {
+			// Mixed-package directory (stray file); keep the first package.
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// typeCheckAll checks every package in dependency order, so that module
+// imports resolve to already-checked packages.
+func (p *Program) typeCheckAll() error {
+	checked := make(map[*Package]bool)
+	checking := make(map[*Package]bool)
+	imp := &chainImporter{prog: p}
+	var check func(pkg *Package) error
+	check = func(pkg *Package) error {
+		if checked[pkg] {
+			return nil
+		}
+		if checking[pkg] {
+			return fmt.Errorf("lint: import cycle through %s", pkg.ImportPath)
+		}
+		checking[pkg] = true
+		for _, f := range pkg.Files {
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if dep, ok := p.byPath[path]; ok {
+					if err := check(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		tpkg, err := conf.Check(pkg.ImportPath, p.Fset, pkg.Files, pkg.Info)
+		if err != nil && tpkg == nil {
+			return fmt.Errorf("lint: type-checking %s: %w", pkg.ImportPath, err)
+		}
+		pkg.Types = tpkg
+		checking[pkg] = false
+		checked[pkg] = true
+		return nil
+	}
+	for _, pkg := range p.Packages {
+		if err := check(pkg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chainImporter resolves module-internal imports to the packages being
+// loaded and everything else through the gc export-data importer, falling
+// back to the source importer for paths the toolchain has no export data
+// for.
+type chainImporter struct {
+	prog   *Program
+	gc     types.Importer
+	source types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.prog.byPath[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: %s imported before it was checked", path)
+		}
+		return pkg.Types, nil
+	}
+	if c.gc == nil {
+		c.gc = importer.Default()
+	}
+	if tp, err := c.gc.Import(path); err == nil {
+		return tp, nil
+	}
+	if c.source == nil {
+		c.source = importer.ForCompiler(c.prog.Fset, "source", nil)
+	}
+	return c.source.Import(path)
+}
+
+// PackageOf returns the loaded package containing the given file position's
+// filename, or nil.
+func (p *Program) PackageOf(importPath string) *Package { return p.byPath[importPath] }
+
+// RelFile rewrites an absolute file path relative to the module root for
+// stable, machine-readable output.
+func (p *Program) RelFile(file string) string {
+	if rel, err := filepath.Rel(p.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}

@@ -1,0 +1,41 @@
+package eval
+
+import "sync"
+
+type scratch struct {
+	epoch  int32
+	selEp  []int32
+	selVal []float64
+}
+
+// lookup follows the epoch protocol: guarded read, stamp before write.
+func lookup(s *scratch, i int, compute func() float64) float64 {
+	if s.selEp[i] == s.epoch {
+		return s.selVal[i]
+	}
+	v := compute()
+	s.selEp[i] = s.epoch
+	s.selVal[i] = v
+	return v
+}
+
+// reduce uses per-goroutine slots and a fixed-order fold.
+func reduce(items []float64, workers int) float64 {
+	parts := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(items); i += workers {
+				parts[w] += items[i]
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+package sketch
+
+// Fingerprint is a nondet root; pure arithmetic is fine.
+func Fingerprint(data []byte) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,19 @@
+// Clean fixture: conforming code across all analyzers must produce zero
+// findings.
+package tsbuild
+
+import "sort"
+
+// Build is a nondet root; it reaches only deterministic code.
+func Build(weights map[string]float64) float64 {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += weights[k]
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+// Fixture for the epochguard analyzer: dense memo planes (selEp/selVal,
+// cntEp/cntVal) on an epoch-carrying struct may only be read under an
+// epoch-validity check and written after an epoch stamp.
+package eval
+
+type scratch struct {
+	epoch  int32
+	selEp  []int32
+	selVal []float64
+	cntEp  []int32
+	cntVal []int64
+	marks  []int32 // not a plane: no matching Val pair
+}
+
+// goodRead is the canonical guarded read.
+func goodRead(s *scratch, i int) float64 {
+	if s.selEp[i] == s.epoch {
+		return s.selVal[i]
+	}
+	return 0
+}
+
+// goodWrite stamps first; the stamp dominates the rest of the block.
+func goodWrite(s *scratch, i int, v float64) {
+	s.selEp[i] = s.epoch
+	s.selVal[i] = v
+}
+
+// goodParallel stamps and writes in one assignment.
+func goodParallel(s *scratch, i int, v float64) {
+	s.selEp[i], s.selVal[i] = s.epoch, v
+}
+
+// goodElse reads in the else-branch of a != check.
+func goodElse(s *scratch, i int) float64 {
+	if s.selEp[i] != s.epoch {
+		return 0
+	} else {
+		return s.selVal[i]
+	}
+}
+
+// goodConj unions guards across &&.
+func goodConj(s *scratch, i int) float64 {
+	if i >= 0 && s.selEp[i] == s.epoch && s.cntEp[i] == s.epoch {
+		return s.selVal[i] + float64(s.cntVal[i])
+	}
+	return 0
+}
+
+// badRead reads a plane value with no guard anywhere.
+func badRead(s *scratch, i int) float64 {
+	return s.selVal[i] /* want "not dominated by an epoch check" */
+}
+
+// badWrite writes before stamping; the late stamp does not help.
+func badWrite(s *scratch, i int, v float64) {
+	s.selVal[i] = v /* want "without a dominating epoch stamp" */
+	s.selEp[i] = s.epoch
+}
+
+// badCross guards one plane but reads another.
+func badCross(s *scratch, i int) float64 {
+	if s.cntEp[i] == s.epoch {
+		return s.selVal[i] /* want "not dominated by an epoch check" */
+	}
+	return 0
+}
+
+// badClosure shows that guards do not flow into function literals: by the
+// time the closure runs, the epoch may have advanced.
+func badClosure(s *scratch, i int) func() float64 {
+	if s.selEp[i] == s.epoch {
+		return func() float64 {
+			return s.selVal[i] /* want "not dominated by an epoch check" */
+		}
+	}
+	return nil
+}
+
+// justified suppresses a read whose validity the caller established.
+func justified(s *scratch, i int) float64 {
+	//lint:epochguard caller stamped slot i in this epoch before dispatching
+	return s.selVal[i]
+}
+
+// nonPlane types without an epoch field are never tracked.
+type nonPlane struct {
+	selEp  []int32
+	selVal []float64
+}
+
+func nonPlaneOK(p *nonPlane, i int) float64 {
+	return p.selVal[i]
+}
+
+// marksOK: a lone Ep-suffixed slice with no Val twin is not a plane.
+func marksOK(s *scratch, i int) int32 {
+	return s.marks[i]
+}

@@ -1,0 +1,107 @@
+// Fixture for the floatorder analyzer: float compound accumulation into a
+// variable captured by a goroutine depends on completion order (float
+// addition is not associative), even when the writes are mutex-protected.
+// The sanctioned shapes are per-goroutine slots and goroutine-local
+// accumulators reduced afterwards in fixed order.
+package eval
+
+import "sync"
+
+// sharedAccum is the bug: every goroutine folds into one float.
+func sharedAccum(items []float64) float64 {
+	var mu sync.Mutex
+	var total float64
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			mu.Lock()
+			total += v /* want "completion-order dependent" */
+			mu.Unlock()
+		}(items[i])
+	}
+	wg.Wait()
+	return total
+}
+
+// perSlot is the order-independent shape: each goroutine owns a slot
+// indexed by its own parameter, reduced sequentially afterwards.
+func perSlot(items []float64, workers int) float64 {
+	parts := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(items); i += workers {
+				parts[w] += items[i]
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}
+
+// localAccum accumulates into a goroutine-local variable and ships the
+// result over a channel: also fine.
+func localAccum(items []float64) float64 {
+	ch := make(chan float64, 1)
+	go func() {
+		sum := 0.0
+		for _, v := range items {
+			sum += v
+		}
+		ch <- sum
+	}()
+	return <-ch
+}
+
+// intAccum shows the analyzer's scope: integer accumulation is exact under
+// any order, so it is not floatorder's concern (the race detector owns it).
+func intAccum(items []int) int {
+	var n int
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		n += len(items)
+		mu.Unlock()
+	}()
+	wg.Wait()
+	return n
+}
+
+// structField flags accumulation through a captured struct pointer too.
+type acc struct{ sum float64 }
+
+func structField(items []float64, a *acc) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, v := range items {
+			a.sum += v /* want "completion-order dependent" */
+		}
+	}()
+	wg.Wait()
+}
+
+// justified documents a single-goroutine case where order is fixed.
+func justified(items []float64, a *acc) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, v := range items {
+			//lint:floatorder one goroutine folds the whole slice; order is the slice order
+			a.sum += v
+		}
+	}()
+	<-done
+}

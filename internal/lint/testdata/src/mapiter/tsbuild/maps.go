@@ -1,0 +1,85 @@
+// Fixture for the mapiter analyzer: map ranges in a determinism-critical
+// package must drain into a sorted slice, live in a sorted-drain helper, or
+// carry a //lint:sorted justification.
+package tsbuild
+
+import "sort"
+
+// labelsOf is the canonical good pattern: drain, then sort.
+func labelsOf(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sum accumulates a float in map order: the classic bug.
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { /* want "map iteration order is random" */
+		s += v
+	}
+	return s
+}
+
+// sortedKeys is exempt by name: an allowlisted sorted-drain helper.
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// keysSorted is exempt by the suffix form of the allowlist.
+func keysSorted(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// justified shows a suppressed range: counting is order-independent.
+func justified(m map[string]int) int {
+	n := 0
+	//lint:sorted entry count does not depend on iteration order
+	for range m {
+		n++
+	}
+	return n
+}
+
+// bare carries a directive without a reason: the range stays flagged and
+// the empty justification is reported too.
+func bare(m map[string]int) int {
+	n := 0
+	for range m { /* want "map iteration order is random" "requires a justification" */ //lint:sorted
+		n++
+	}
+	return n
+}
+
+// sortBefore sorts before the range, which proves nothing about the map
+// drain: still flagged.
+func sortBefore(m map[string]int, xs []int) int {
+	sort.Ints(xs)
+	n := 0
+	for range m { /* want "map iteration order is random" */
+		n++
+	}
+	return n
+}
+
+// sliceRange is not a map range and is never flagged.
+func sliceRange(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

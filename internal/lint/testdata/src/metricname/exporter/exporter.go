@@ -1,0 +1,11 @@
+// Second package of the metricname fixture: registering a name the bench
+// package already registered as a histogram, but as a counter, is a
+// cross-package kind collision.
+package exporter
+
+import "fix/obs"
+
+func export(r *obs.Registry) {
+	r.Counter("bench.dup.metric") /* want "registered as counter here but as histogram at" */
+	r.Counter("exporter.rows")    // ok
+}

@@ -1,0 +1,5 @@
+// Minimal stand-in for the real metricname package: the analyzer only
+// needs to resolve Clean by package name and function name.
+package metricname
+
+func Clean(s string) string { return s }

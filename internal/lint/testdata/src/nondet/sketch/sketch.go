@@ -1,0 +1,19 @@
+// Second root of the nondet fixture: sketch.Fingerprint has its own
+// checked closure.
+package sketch
+
+import "time"
+
+var epoch time.Time
+
+// Fingerprint is a fingerprint-critical entry point.
+func Fingerprint(data []byte) uint64 {
+	return mix(uint64(len(data)))
+}
+
+func mix(x uint64) uint64 {
+	if time.Since(epoch) > 0 { /* want "time.Since" */
+		x++
+	}
+	return x * 0x9e3779b97f4a7c15
+}

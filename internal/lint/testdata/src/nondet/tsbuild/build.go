@@ -1,0 +1,41 @@
+// Fixture for the nondet analyzer: wall-clock reads, the global math/rand
+// source, and unjustified go statements are forbidden in the call closure
+// of tsbuild.Build.
+package tsbuild
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Build is a fingerprint-critical entry point: everything it reaches is
+// checked.
+func Build() int {
+	n := helper() + seeded(42)
+	//lint:nondet results drain through a channel in submission order
+	go spawnWork()
+	go spawnWork() /* want "go statement" */
+	return n
+}
+
+func helper() int {
+	start := time.Now() /* want "time.Now" */
+	_ = start
+	deadline := time.Now() //lint:nondet deadline only bounds work, never changes output
+	_ = deadline
+	return rand.Int() /* want "global.*rand.Int" */
+}
+
+// seeded builds its own deterministic source: rand.New/NewSource are the
+// sanctioned constructors, and methods on the seeded *rand.Rand are fine.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int()
+}
+
+func spawnWork() {}
+
+// unreachable is not in Build's closure: its clock read is not reported.
+func unreachable() time.Time {
+	return time.Now()
+}

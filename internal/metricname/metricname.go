@@ -1,0 +1,97 @@
+// Package metricname defines the canonical grammar for observability metric
+// names. It is the single shared rule behind two enforcement layers: the
+// obs.Registry validates names at registration time (recording typed errors
+// for invalid or kind-colliding registrations), and the tslint `metricname`
+// analyzer checks every constant registration site at compile time. Keeping
+// the rule in one dependency-free package guarantees the two checks can
+// never drift apart.
+//
+// The grammar is "pkg.subsystem.name": 2 to 4 dot-separated lowercase
+// segments. The first segment names the owning package or subsystem and
+// must start with a letter; later segments may start with a digit (budget
+// cells like "03kb" appear mid-name in benchmark metrics). Within a
+// segment only [a-z0-9_] is allowed. Examples: "tsbuild.heap.pushes",
+// "eval.exact.latency_seconds", "bench.imdb_tx.03kb.approx_latency_seconds".
+package metricname
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grammar documents the accepted shape; error messages and docs quote it.
+const Grammar = `2-4 dot-separated segments of [a-z0-9_], first segment starting with a letter ("pkg.subsystem.name")`
+
+// MinSegments and MaxSegments bound the dot-separated segment count.
+const (
+	MinSegments = 2
+	MaxSegments = 4
+)
+
+// Valid reports whether name conforms to the metric-name grammar, returning
+// a descriptive error when it does not.
+func Valid(name string) error {
+	if name == "" {
+		return fmt.Errorf("metric name is empty (grammar: %s)", Grammar)
+	}
+	segs := strings.Split(name, ".")
+	if len(segs) < MinSegments || len(segs) > MaxSegments {
+		return fmt.Errorf("metric name %q has %d segment(s), want %d-%d (grammar: %s)",
+			name, len(segs), MinSegments, MaxSegments, Grammar)
+	}
+	for i, seg := range segs {
+		if seg == "" {
+			return fmt.Errorf("metric name %q has an empty segment (grammar: %s)", name, Grammar)
+		}
+		for j := 0; j < len(seg); j++ {
+			c := seg[j]
+			switch {
+			case c >= 'a' && c <= 'z', c == '_':
+			case c >= '0' && c <= '9':
+				if i == 0 && j == 0 {
+					return fmt.Errorf("metric name %q: first segment must start with a letter (grammar: %s)", name, Grammar)
+				}
+			default:
+				return fmt.Errorf("metric name %q: segment %q contains %q, want [a-z0-9_] (grammar: %s)",
+					name, seg, string(c), Grammar)
+			}
+		}
+		if c := seg[0]; c == '_' {
+			return fmt.Errorf("metric name %q: segment %q starts with '_' (grammar: %s)", name, seg, Grammar)
+		}
+	}
+	return nil
+}
+
+// Clean maps an arbitrary string (a dataset name, a user-supplied label)
+// onto a single valid metric-name segment: uppercase letters are lowered
+// and every other character outside [a-z0-9] becomes '_'. Runs of '_' are
+// collapsed and leading/trailing '_' trimmed; an empty result yields "x".
+// Use it when composing metric names from dynamic components, e.g.
+// "bench." + metricname.Clean(dataset) + ".exact_latency_seconds".
+func Clean(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastUnderscore := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+			lastUnderscore = false
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c - 'A' + 'a')
+			lastUnderscore = false
+		default:
+			if !lastUnderscore && b.Len() > 0 {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+		}
+	}
+	out := strings.TrimRight(b.String(), "_")
+	if out == "" {
+		return "x"
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package metricname
+
+import "testing"
+
+func TestValid(t *testing.T) {
+	good := []string{
+		"tsbuild.heap.pushes",
+		"eval.exact.latency_seconds",
+		"eval.approx.selmemo.hits",
+		"bench.imdb_tx.03kb.approx_latency_seconds",
+		"xmltree.parse",
+		"stable.build.runs",
+		"a.b",
+	}
+	for _, name := range good {
+		if err := Valid(name); err != nil {
+			t.Errorf("Valid(%q) = %v, want nil", name, err)
+		}
+	}
+	bad := []string{
+		"",
+		"single",
+		"tsbuild.createPool",         // uppercase
+		"eval..exact",                // empty segment
+		"eval.exact.",                // trailing empty segment
+		"03kb.approx",                // first segment starts with digit
+		"bench.IMDB-TX.latency",      // hyphen + uppercase
+		"a.b.c.d.e",                  // too many segments
+		"eval._hidden.latency",       // segment starts with underscore
+		"eval.exact.latency seconds", // space
+	}
+	for _, name := range bad {
+		if err := Valid(name); err == nil {
+			t.Errorf("Valid(%q) = nil, want error", name)
+		}
+	}
+}
+
+func TestClean(t *testing.T) {
+	cases := map[string]string{
+		"IMDB-TX":    "imdb_tx",
+		"XMark-TX":   "xmark_tx",
+		"SProt":      "sprot",
+		"already_ok": "already_ok",
+		"a--b":       "a_b",
+		"-lead-":     "lead",
+		"":           "x",
+		"---":        "x",
+		"Mixed Case": "mixed_case",
+	}
+	for in, want := range cases {
+		if got := Clean(in); got != want {
+			t.Errorf("Clean(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// Clean output composed into a full name must satisfy Valid.
+	for in := range cases {
+		name := "bench." + Clean(in) + ".latency_seconds"
+		if err := Valid(name); err != nil {
+			t.Errorf("composed name %q invalid: %v", name, err)
+		}
+	}
+}

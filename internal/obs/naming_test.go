@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegistryNameValidation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pkg.sub.good")
+	r.Counter("pkg.sub.good") // second lookup of the same name: no new error
+	if errs := r.NameErrors(); len(errs) != 0 {
+		t.Fatalf("valid name produced errors: %v", errs)
+	}
+
+	r.Counter("BadName")
+	errs := r.NameErrors()
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors, want 1: %v", len(errs), errs)
+	}
+	var ne *NameError
+	if !errors.As(errs[0], &ne) {
+		t.Fatalf("error %v is not a *NameError", errs[0])
+	}
+	if ne.Name != "BadName" || ne.Kind != "counter" {
+		t.Errorf("NameError = %+v, want Name=BadName Kind=counter", ne)
+	}
+}
+
+func TestRegistryDuplicateKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pkg.sub.metric")
+	r.Gauge("pkg.sub.metric") // same name, different kind
+	r.Counter("pkg.sub.metric")
+	r.Gauge("pkg.sub.metric") // repeats do not re-record
+
+	errs := r.NameErrors()
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors, want 1: %v", len(errs), errs)
+	}
+	var de *DuplicateMetricError
+	if !errors.As(errs[0], &de) {
+		t.Fatalf("error %v is not a *DuplicateMetricError", errs[0])
+	}
+	if de.Name != "pkg.sub.metric" || de.PrevKind != "counter" || de.Kind != "gauge" {
+		t.Errorf("DuplicateMetricError = %+v", de)
+	}
+}
+
+func TestRegistryResetClearsNameErrors(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nope")
+	if len(r.NameErrors()) != 1 {
+		t.Fatal("expected one error before Reset")
+	}
+	r.Reset()
+	if errs := r.NameErrors(); len(errs) != 0 {
+		t.Fatalf("Reset left errors: %v", errs)
+	}
+	// After Reset the name can be registered again as a different kind
+	// without a duplicate error.
+	r.Gauge("pkg.sub.metric")
+	r.Reset()
+	r.Counter("pkg.sub.metric")
+	for _, err := range r.NameErrors() {
+		var de *DuplicateMetricError
+		if errors.As(err, &de) {
+			t.Fatalf("duplicate error survived Reset: %v", err)
+		}
+	}
+}
+
+// TestDefaultRegistryClean asserts that every metric the instrumented
+// packages register into a fresh registry passes the grammar. The bench
+// harness and CLIs rely on obs.Default staying clean; the static analyzer
+// covers constant names, this covers composed ones.
+func TestDefaultRegistryClean(t *testing.T) {
+	r := NewRegistry()
+	r.StartSpan("tsbuild.create_pool").End()
+	r.Histogram("bench.imdb_tx.03kb.approx_latency_seconds").Observe(1)
+	if errs := r.NameErrors(); len(errs) != 0 {
+		t.Fatalf("canonical names rejected: %v", errs)
+	}
+}

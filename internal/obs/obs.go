@@ -15,19 +15,32 @@
 package obs
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"treesketch/internal/metricname"
 )
 
 // Registry holds named metrics. The zero value is not usable; call
 // NewRegistry (or use Default).
+//
+// Metric names are validated at registration time against the shared
+// metricname grammar — the same rule the tslint `metricname` analyzer
+// enforces statically on constant registration sites. Registration never
+// fails (hot paths must not grow error branches), but grammar violations
+// and kind collisions are recorded as typed errors retrievable through
+// NameErrors, so tests and health checks can assert a clean registry.
 type Registry struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	timers     map[string]*Timer
+
+	kinds    map[string]string // name -> kind of first registration
+	nameErrs []error
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -37,7 +50,60 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 		timers:     make(map[string]*Timer),
+		kinds:      make(map[string]string),
 	}
+}
+
+// NameError records a metric registered under a name that violates the
+// metricname grammar. The metric still works; the error is diagnostic.
+type NameError struct {
+	Kind string // "counter", "gauge", "histogram", or "timer"
+	Name string
+	Err  error // the grammar violation from metricname.Valid
+}
+
+func (e *NameError) Error() string {
+	return fmt.Sprintf("obs: %s registered with invalid name: %v", e.Kind, e.Err)
+}
+
+func (e *NameError) Unwrap() error { return e.Err }
+
+// DuplicateMetricError records one name registered as two different metric
+// kinds (e.g. a counter and a gauge). Both metrics exist — the registry
+// keeps kinds in separate maps — but their snapshots would collide, so the
+// collision is surfaced as a typed error.
+type DuplicateMetricError struct {
+	Name     string
+	Kind     string // kind of the later registration
+	PrevKind string // kind of the first registration
+}
+
+func (e *DuplicateMetricError) Error() string {
+	return fmt.Sprintf("obs: metric %q registered as both %s and %s", e.Name, e.PrevKind, e.Kind)
+}
+
+// noteMetric validates a first-time registration and records the name's
+// kind. Callers hold r.mu; it runs once per name, never on the hot path.
+func (r *Registry) noteMetric(kind, name string) {
+	if err := metricname.Valid(name); err != nil {
+		r.nameErrs = append(r.nameErrs, &NameError{Kind: kind, Name: name, Err: err})
+	}
+	if prev, ok := r.kinds[name]; ok {
+		if prev != kind {
+			r.nameErrs = append(r.nameErrs, &DuplicateMetricError{Name: name, Kind: kind, PrevKind: prev})
+		}
+		return
+	}
+	r.kinds[name] = kind
+}
+
+// NameErrors returns the registration problems recorded so far: one
+// *NameError per grammar-violating name and one *DuplicateMetricError per
+// cross-kind name collision, in registration order.
+func (r *Registry) NameErrors() []error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]error(nil), r.nameErrs...)
 }
 
 var defaultRegistry = NewRegistry()
@@ -68,6 +134,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if c, ok = r.counters[name]; ok {
 		return c
 	}
+	r.noteMetric("counter", name)
 	c = &Counter{}
 	r.counters[name] = c
 	return c
@@ -86,6 +153,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g, ok = r.gauges[name]; ok {
 		return g
 	}
+	r.noteMetric("gauge", name)
 	g = &Gauge{}
 	r.gauges[name] = g
 	return g
@@ -105,6 +173,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if h, ok = r.histograms[name]; ok {
 		return h
 	}
+	r.noteMetric("histogram", name)
 	h = newHistogram()
 	r.histograms[name] = h
 	return h
@@ -123,6 +192,7 @@ func (r *Registry) Timer(name string) *Timer {
 	if t, ok = r.timers[name]; ok {
 		return t
 	}
+	r.noteMetric("timer", name)
 	t = &Timer{}
 	r.timers[name] = t
 	return t
@@ -137,6 +207,8 @@ func (r *Registry) Reset() {
 	r.gauges = make(map[string]*Gauge)
 	r.histograms = make(map[string]*Histogram)
 	r.timers = make(map[string]*Timer)
+	r.kinds = make(map[string]string)
+	r.nameErrs = nil
 }
 
 // sortedNames returns the keys of a metric map in lexical order; snapshots

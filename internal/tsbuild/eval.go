@@ -355,6 +355,7 @@ func (b *builder) evalPairs(pairs []opKey) []evalResult {
 		for w := 0; w < workers; w++ {
 			c := b.ctxs[w]
 			wg.Add(1)
+			//lint:nondet workers write disjoint res[i] slots indexed by the work counter; output order is the deterministic pairs order
 			go func(c *evalCtx) {
 				defer wg.Done()
 				for {

@@ -40,8 +40,8 @@ func TestHeapTelemetry(t *testing.T) {
 	if got := reg.Timer("tsbuild.build").Count(); got != 1 {
 		t.Fatalf("timer tsbuild.build count = %d, want 1", got)
 	}
-	if got := reg.Timer("tsbuild.createPool").Count(); got != int64(stats.PoolBuilds) {
-		t.Fatalf("timer tsbuild.createPool count = %d, Stats.PoolBuilds = %d", got, stats.PoolBuilds)
+	if got := reg.Timer("tsbuild.create_pool").Count(); got != int64(stats.PoolBuilds) {
+		t.Fatalf("timer tsbuild.create_pool count = %d, Stats.PoolBuilds = %d", got, stats.PoolBuilds)
 	}
 	if got := reg.Histogram("tsbuild.merge.gain_ratio").Count(); got != int64(stats.Merges) {
 		t.Fatalf("gain histogram count = %d, Stats.Merges = %d", got, stats.Merges)

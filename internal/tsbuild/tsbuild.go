@@ -190,7 +190,7 @@ func Build(st *stable.Synopsis, opts Options) (*sketch.Sketch, Stats) {
 	opts = opts.withDefaults()
 	reg := obs.Or(opts.Metrics)
 	buildSpan := reg.StartSpan("tsbuild.build")
-	start := time.Now()
+	start := time.Now() //lint:nondet wall-clock feeds Stats.Elapsed telemetry only, never the synopsis
 	b := newBuilder(st, opts)
 	stats := Stats{
 		InitialNodes: b.sk.NumNodes(),
@@ -206,13 +206,13 @@ func Build(st *stable.Synopsis, opts Options) (*sketch.Sketch, Stats) {
 			SizeBytes:   b.size,
 			BudgetBytes: opts.BudgetBytes,
 			PoolSize:    len(b.ops),
-			Elapsed:     time.Since(start),
+			Elapsed:     time.Since(start), //lint:nondet elapsed time is reported to the progress callback, not used in build decisions
 			Final:       final,
 		})
 	}
 
 	for b.size > opts.BudgetBytes {
-		poolSpan := reg.StartSpan("tsbuild.createPool")
+		poolSpan := reg.StartSpan("tsbuild.create_pool")
 		n := b.createPool()
 		poolSpan.End()
 		stats.PoolBuilds++
@@ -233,13 +233,13 @@ func Build(st *stable.Synopsis, opts Options) (*sketch.Sketch, Stats) {
 			lower = 0
 		}
 		progressed := false
-		mergeSpan := reg.StartSpan("tsbuild.mergeLoop")
+		mergeSpan := reg.StartSpan("tsbuild.merge_loop")
 		for b.size > opts.BudgetBytes && len(b.ops) > 0 {
 			if len(b.ops) <= lower {
 				if !opts.IncrementalRefill {
 					break // regenerate via the outer CreatePool pass
 				}
-				replSpan := reg.StartSpan("tsbuild.replenishPool")
+				replSpan := reg.StartSpan("tsbuild.replenish_pool")
 				b.replenishPool()
 				replSpan.End()
 				progress(false)
@@ -280,7 +280,7 @@ func Build(st *stable.Synopsis, opts Options) (*sketch.Sketch, Stats) {
 	stats.PoolRebuilds = b.poolRebuilds
 	stats.PoolTruncated = b.poolTruncated
 	stats.StalePops = b.stalePops
-	stats.Elapsed = time.Since(start)
+	stats.Elapsed = time.Since(start) //lint:nondet elapsed time is telemetry in Stats, never an input to merge decisions
 	stats.BudgetReached = stats.FinalBytes <= opts.BudgetBytes
 	progress(true)
 	buildSpan.End()

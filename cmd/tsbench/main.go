@@ -119,6 +119,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("bench: wrote %s (%d benchmarks, seed %d)\n", *out, len(res.Benchmarks), cfg.Seed)
+	for _, nameErr := range obs.Default().NameErrors() {
+		fmt.Fprintf(os.Stderr, "tsbench: warning: %v\n", nameErr)
+	}
 	if err := obsFlags.Finish(); err != nil {
 		fatal(err)
 	}

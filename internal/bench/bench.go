@@ -63,6 +63,16 @@ type Config struct {
 	// for measuring what the plan-driven fast path buys: accuracy metrics
 	// must be bit-identical between the two modes, only latency may differ.
 	ReferenceEval bool `json:"reference_eval,omitempty"`
+	// ServeSeconds is how long the under-load serving leg drives each
+	// dataset's tsserve instance with closed-loop concurrent clients.
+	// 0 selects a scale-appropriate default; negative disables the leg.
+	ServeSeconds float64 `json:"serve_seconds,omitempty"`
+	// ServeClients is the closed-loop client concurrency of the serving
+	// leg. Default 8.
+	ServeClients int `json:"serve_clients,omitempty"`
+	// ServeBudgetKB is the synopsis budget the serving leg uses; 0 means
+	// the largest budget of the grid.
+	ServeBudgetKB int `json:"serve_budget_kb,omitempty"`
 	// Out receives human-readable progress lines; nil discards them.
 	Out io.Writer `json:"-"`
 }
@@ -114,6 +124,22 @@ func (c Config) withDefaults() Config {
 	if c.Repeats <= 0 {
 		c.Repeats = 3
 	}
+	if c.ServeSeconds == 0 {
+		c.ServeSeconds = 1
+		if !c.Quick {
+			c.ServeSeconds = 5
+		}
+	}
+	if c.ServeClients <= 0 {
+		c.ServeClients = 8
+	}
+	if c.ServeBudgetKB <= 0 {
+		for _, kb := range c.BudgetsKB {
+			if kb > c.ServeBudgetKB {
+				c.ServeBudgetKB = kb
+			}
+		}
+	}
 	return c
 }
 
@@ -162,6 +188,11 @@ func Run(cfg Config) (*Result, error) {
 	for _, ds := range cfg.Datasets {
 		if err := benchDataset(res, r, reg, cfg, ds); err != nil {
 			return nil, err
+		}
+		if cfg.ServeSeconds > 0 {
+			if err := benchServe(res, r, cfg, ds); err != nil {
+				return nil, err
+			}
 		}
 	}
 	res.Obs = reg.Snapshot()

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestBenchServeLeg(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ServeSeconds = 0.3
+	cfg.ServeClients = 4
+	cfg = cfg.withDefaults()
+	res := &Result{Benchmarks: make(map[string]Metrics)}
+	if err := benchServe(res, newRunner(cfg), cfg, "XMark-TX"); err != nil {
+		t.Fatal(err)
+	}
+	// ServeBudgetKB defaulted to the largest budget of the grid.
+	m, ok := res.Benchmarks["serve/XMark-TX/04kb"]
+	if !ok {
+		t.Fatalf("missing serve benchmark, have %v", sortedKeys(res.Benchmarks))
+	}
+	if m["serve_requests"] <= 0 || m["serve_queries_per_sec"] <= 0 {
+		t.Errorf("throughput metrics = %v", m)
+	}
+	// The windowed percentiles come back through the /metrics scrape: they
+	// must be present, positive, and ordered.
+	p50, p99 := m["serve_window_p50_seconds"], m["serve_window_p99_seconds"]
+	if p50 <= 0 || p99 < p50 {
+		t.Errorf("windowed percentiles p50=%g p99=%g", p50, p99)
+	}
+	if m["serve_tail_p99_over_p50"] < 1 {
+		t.Errorf("tail ratio = %g, want >= 1", m["serve_tail_p99_over_p50"])
+	}
+	if _, ok := m["serve_errors"]; ok {
+		t.Errorf("closed-loop run reported errors: %v", m)
+	}
+}
+
+func TestServeLegRunsInsideGrid(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ServeSeconds = 0.2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Benchmarks["serve/XMark-TX/04kb"]; !ok {
+		t.Fatalf("grid run missing serve leg, have %v", sortedKeys(res.Benchmarks))
+	}
+	// Negative disables the leg.
+	cfg.ServeSeconds = -1
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Benchmarks["serve/XMark-TX/04kb"]; ok {
+		t.Error("ServeSeconds < 0 should disable the serve leg")
+	}
+}
+
+func TestScrapeMetrics(t *testing.T) {
+	exposition := "# TYPE a_b counter\na_b_total 3\n" +
+		"a_latency_p50 0.5\n" +
+		"a_latency_bucket{le=\"+Inf\"} 9\n" + // labeled: skipped
+		"malformed_line\n" +
+		"a_latency_p99 1.25\n" +
+		"# EOF\n"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, exposition)
+	}))
+	defer ts.Close()
+	got, err := scrapeMetrics(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"a_b_total": 3, "a_latency_p50": 0.5, "a_latency_p99": 1.25}
+	if len(got) != len(want) {
+		t.Errorf("scraped %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("scraped[%s] = %g, want %g", k, got[k], v)
+		}
+	}
+}

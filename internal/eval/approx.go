@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -55,14 +56,27 @@ func (o Options) withDefaults() Options {
 // the approximate nesting tree. On a count-stable synopsis the result is
 // exact (Section 4.3).
 func Approx(sk *sketch.Sketch, q *query.Query, opts Options) *Result {
+	return ApproxContext(context.Background(), sk, q, opts)
+}
+
+// ApproxContext is Approx with request-scoped telemetry: when ctx carries an
+// obs.Trace (obs.ContextWithTrace), the evaluation records its plan, memo
+// (embedding enumeration), and emit (prune/condition/count) phases as spans
+// on that trace, and flushes its per-query counters onto it. An untraced
+// context costs one context lookup; the phase spans are inert and read no
+// clocks, leaving the hot enumeration loops untouched.
+func ApproxContext(ctx context.Context, sk *sketch.Sketch, q *query.Query, opts Options) *Result {
 	opts = opts.withDefaults()
-	return approxWith(sk, q, opts, !opts.PaperMode, !opts.PaperMode)
+	return approxWith(ctx, sk, q, opts, !opts.PaperMode, !opts.PaperMode)
 }
 
 // approxWith exposes the two refinements independently for tests.
-func approxWith(sk *sketch.Sketch, q *query.Query, opts Options, conditioning, twoMoment bool) *Result {
+func approxWith(ctx context.Context, sk *sketch.Sketch, q *query.Query, opts Options, conditioning, twoMoment bool) *Result {
 	reg := obs.Or(opts.Metrics)
+	tr := obs.TraceFrom(ctx)
+	ps := tr.StartSpan("eval.plan")
 	a := &approxer{
+		tr:           tr,
 		sk:           sk,
 		q:            q,
 		qnodes:       q.Vars(),
@@ -92,6 +106,7 @@ func approxWith(sk *sketch.Sketch, q *query.Query, opts Options, conditioning, t
 			reg.Counter("eval.approx.plan.misses").Inc()
 		}
 	}
+	ps.End()
 	span := reg.StartSpan("eval.approx.query")
 	reg.Counter("eval.approx.queries").Inc()
 	res := a.run()
@@ -103,6 +118,14 @@ func approxWith(sk *sketch.Sketch, q *query.Query, opts Options, conditioning, t
 	}
 	if a.canHits > 0 {
 		reg.Counter("eval.approx.embed_memo_hits").Add(a.canHits)
+	}
+	if tr != nil {
+		tr.AddCounter("approx_embed_prunes", a.prunes)
+		tr.AddCounter("approx_embed_memo_hits", a.canHits)
+		tr.AddCounter("approx_result_nodes", int64(len(res.Nodes)))
+		if res.Truncated {
+			tr.AddCounter("approx_truncated", 1)
+		}
 	}
 	if res.Empty {
 		reg.Counter("eval.approx.empty").Inc()
@@ -121,6 +144,7 @@ func approxWith(sk *sketch.Sketch, q *query.Query, opts Options, conditioning, t
 }
 
 type approxer struct {
+	tr     *obs.Trace // request trace; nil (inert) for untraced callers
 	sk     *sketch.Sketch
 	q      *query.Query
 	qnodes []*query.Node
@@ -207,7 +231,9 @@ func (a *approxer) run() *Result {
 	a.addResultNode(a.sk.Root, 0, rootNode.Label)
 
 	// Pre-order over query variables: parents first, so bind[q] is
-	// complete when q's edges are processed.
+	// complete when q's edges are processed. This enumeration (embedding
+	// search plus selectivity memoization) is the trace's "memo" phase.
+	ms := a.tr.StartSpan("eval.memo")
 	for qi, qn := range a.qnodes {
 		for _, uQ := range a.bind[qi] {
 			for _, edge := range qn.Edges {
@@ -215,12 +241,17 @@ func (a *approxer) run() *Result {
 			}
 		}
 	}
+	ms.End()
 
+	// Everything from here shapes the answer synopsis: the trace's "emit"
+	// phase.
+	es := a.tr.StartSpan("eval.emit")
 	// Figure 7 line 15: a required variable with no bindings anywhere
 	// empties the whole answer.
 	for _, qn := range a.qnodes {
 		for _, edge := range qn.Edges {
 			if !edge.Optional && len(a.bind[a.qidx[edge.Child]]) == 0 {
+				es.End()
 				return &Result{Empty: true, Truncated: a.truncated}
 			}
 		}
@@ -228,6 +259,7 @@ func (a *approxer) run() *Result {
 
 	if !a.opts.DisablePrune {
 		if !a.prune() {
+			es.End()
 			return &Result{Empty: true, Truncated: a.truncated}
 		}
 	}
@@ -236,6 +268,7 @@ func (a *approxer) run() *Result {
 	}
 	a.res.Truncated = a.truncated
 	a.computeCounts()
+	es.End()
 	return a.res
 }
 

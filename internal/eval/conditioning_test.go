@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -21,8 +22,8 @@ func TestPropConditioningPreservesSelectivity(t *testing.T) {
 		st := stable.Build(tr)
 		sk, _ := tsbuild.Build(st, tsbuild.Options{BudgetBytes: st.SizeBytes() / 2})
 		for _, q := range query.Generate(st, 5, query.GenOptions{Seed: int64(seed % (1 << 29))}) {
-			with := approxWith(sk, q, Options{}, true, true)
-			without := approxWith(sk, q, Options{}, false, true)
+			with := approxWith(context.Background(), sk, q, Options{}.withDefaults(), true, true)
+			without := approxWith(context.Background(), sk, q, Options{}.withDefaults(), false, true)
 			if with.Empty != without.Empty {
 				t.Logf("seed %d: %s: Empty %v vs %v", seed, q, with.Empty, without.Empty)
 				return false

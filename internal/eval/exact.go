@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -56,6 +57,16 @@ func (r *ExactResult) Err() error {
 // methods) is not safe for concurrent use; distinct Exact calls on the same
 // Index are.
 func Exact(ix *Index, q *query.Query) *ExactResult {
+	return ExactContext(context.Background(), ix, q)
+}
+
+// ExactContext is Exact with request-scoped telemetry: when ctx carries an
+// obs.Trace (obs.ContextWithTrace), the evaluation records its plan and memo
+// phases as spans on that trace. An untraced context adds one context
+// lookup and nothing else — the phase spans are inert and read no clocks —
+// so the hot path is unchanged for batch callers.
+func ExactContext(ctx context.Context, ix *Index, q *query.Query) *ExactResult {
+	tr := obs.TraceFrom(ctx)
 	span := obs.StartSpan("eval.exact.query")
 	reg := obs.Default()
 	// The span feeds the phase timer (count/total/extrema); the histogram
@@ -65,16 +76,23 @@ func Exact(ix *Index, q *query.Query) *ExactResult {
 		reg.Histogram("eval.exact.latency_seconds").Observe(span.End().Seconds())
 	}()
 	reg.Counter("eval.exact.queries").Inc()
+	ts := tr.StartSpan("eval.plan")
 	ev := newEvaluator(ix, q)
+	ts.End()
 	defer ev.finish(reg)
 	r := &ExactResult{ev: ev}
+	ts = tr.StartSpan("eval.memo")
 	root := ix.Doc.Root
 	if root == nil || !ev.valid(0, root) {
+		ts.End()
+		ev.traceCounters(tr)
 		r.Empty = true
 		reg.Counter("eval.exact.empty").Inc()
 		return r
 	}
 	r.Tuples = ev.tuples(0, root)
+	ts.End()
+	ev.traceCounters(tr)
 	if math.IsInf(r.Tuples, 0) {
 		r.Overflow = true
 		reg.Counter("eval.exact.overflow").Inc()
@@ -84,6 +102,19 @@ func Exact(ix *Index, q *query.Query) *ExactResult {
 		reg.Counter("eval.exact.empty").Inc()
 	}
 	return r
+}
+
+// traceCounters copies the evaluator's per-query counters onto the request
+// trace (no-op on untraced requests), before finish flushes them into the
+// aggregate registry.
+func (ev *evaluator) traceCounters(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.AddCounter("exact_memo_hits", ev.memoHits)
+	tr.AddCounter("exact_match_hits", ev.matchHits)
+	tr.AddCounter("exact_label_scans", ev.labelScans)
+	tr.AddCounter("exact_count_fast", ev.countFast)
 }
 
 // evaluator carries the per-query evaluation state over one document: the

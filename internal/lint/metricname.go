@@ -13,7 +13,7 @@ import (
 )
 
 // MetricNameAnalyzer checks every obs metric registration site — Counter,
-// Gauge, Histogram, Timer, StartSpan, Observe — against the canonical
+// Gauge, Histogram, Timer, StartSpan, Observe, Windowed — against the canonical
 // metric-name grammar shared with the runtime validator in
 // internal/metricname, and reports one name registered under two different
 // metric kinds anywhere in the module.
@@ -40,6 +40,7 @@ var metricKinds = map[string]string{
 	"Timer":     "timer",
 	"StartSpan": "timer",
 	"Observe":   "timer",
+	"Windowed":  "windowed",
 }
 
 type registration struct {

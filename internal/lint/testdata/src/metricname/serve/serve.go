@@ -1,0 +1,31 @@
+// Third package of the metricname fixture: the serving-layer registration
+// surface. Windowed histograms are registrations like any other (and their
+// names join the cross-kind collision check), request-trace span names go
+// through the same grammar, and trace labels (NewTrace's argument) are
+// exempt because they carry raw query text.
+package serve
+
+import "fix/obs"
+
+func register(r *obs.Registry) {
+	r.Windowed("serve.request.latency_seconds") // ok
+	r.Windowed("latency")                       /* want "has 1 segment" */
+	r.Windowed("serve.Request.latency")         /* want "contains .R." */
+	r.Counter("trace.slow.retained")            // ok
+	r.Counter("serve.http.requests")            // ok
+
+	// Same name as a windowed histogram here, a gauge below: kind collision.
+	r.Windowed("serve.dup.latency")
+	r.Gauge("serve.dup.latency") /* want "registered as gauge here but as windowed at" */
+}
+
+func handle(r *obs.Registry) {
+	// The trace label is raw request text, not a metric name: exempt.
+	tr := obs.NewTrace("//item[//keyword]{//name?}")
+
+	// Span names on a trace are timers and must satisfy the grammar.
+	s := tr.StartSpan("serve.parse") // ok
+	s.End()
+	bad := tr.StartSpan("parse") /* want "has 1 segment" */
+	bad.End()
+}

@@ -71,6 +71,12 @@ func (f *CLIFlags) Finish() error {
 		if err := Default().WriteText(os.Stderr); err != nil {
 			return err
 		}
+		// Surface bad registrations where the snapshot is read, not only
+		// via the NameErrors API: a misnamed metric is an observability
+		// bug users should see at run time.
+		for _, nameErr := range Default().NameErrors() {
+			fmt.Fprintf(os.Stderr, "metric name error: %v\n", nameErr)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the standard observability HTTP surface over a registry:
+//
+//	/metrics            OpenMetrics/Prometheus text exposition
+//	/debug/obs          full JSON snapshot of the registry
+//	/debug/obs/text     flat expvar-style text snapshot (grep-friendly)
+//	/debug/obs/slow     the flight recorder's K slowest traces as JSON
+//	/debug/obs/errors   metric-name registration errors as JSON
+//	/debug/pprof/*      runtime profiling (CPU, heap, goroutines, trace)
+//
+// rec may be nil, in which case /debug/obs/slow serves an empty list. The
+// mux is mounted standalone by cmd/tsserve and embeddable under any parent
+// mux via http.Handle("/", ...).
+func DebugMux(r *Registry, rec *FlightRecorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		r.WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/obs/text", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+	mux.HandleFunc("/debug/obs/slow", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		traces := rec.Slowest()
+		if traces == nil {
+			traces = []TraceSnapshot{}
+		}
+		writeJSON(w, traces)
+	})
+	mux.HandleFunc("/debug/obs/errors", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		errs := r.NameErrors()
+		msgs := make([]string, 0, len(errs))
+		for _, err := range errs {
+			msgs = append(msgs, err.Error())
+		}
+		writeJSON(w, msgs)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -38,6 +38,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	timers     map[string]*Timer
+	windows    map[string]*WindowedHistogram
 
 	kinds    map[string]string // name -> kind of first registration
 	nameErrs []error
@@ -50,6 +51,7 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 		timers:     make(map[string]*Timer),
+		windows:    make(map[string]*WindowedHistogram),
 		kinds:      make(map[string]string),
 	}
 }
@@ -207,6 +209,7 @@ func (r *Registry) Reset() {
 	r.gauges = make(map[string]*Gauge)
 	r.histograms = make(map[string]*Histogram)
 	r.timers = make(map[string]*Timer)
+	r.windows = make(map[string]*WindowedHistogram)
 	r.kinds = make(map[string]string)
 	r.nameErrs = nil
 }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// OpenMetricsContentType is the Content-Type the /metrics handler serves.
+// The output is simultaneously valid Prometheus text format (the subset we
+// emit is shared), so classic scrapers consume it unchanged.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics writes the registry's current state in OpenMetrics text
+// exposition format, the lingua franca of Prometheus-compatible scrapers:
+//
+//   - counters become "<name>_total" counter samples;
+//   - gauges become plain gauge samples;
+//   - timers become summaries: "<name>_seconds_count" / "<name>_seconds_sum",
+//     with the extrema as companion gauges;
+//   - histograms become classic cumulative-bucket histograms with "le"
+//     labels derived from the log-2 bucket upper bounds;
+//   - windowed histograms additionally export "<name>_p50" / "<name>_p99"
+//     gauges over the merged window and a "<name>_per_sec" observation rate,
+//     so a scrape sees the last-window tail without needing PromQL.
+//
+// Metric names map dot-separated registry names onto the Prometheus grammar
+// by flattening dots to underscores. Families are emitted in sorted name
+// order, and the stream ends with the OpenMetrics "# EOF" terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	s := r.Snapshot()
+	ew := &errWriter{w: w}
+	for _, n := range sortedNames(s.Counters) {
+		fam := promName(n)
+		ew.printf("# TYPE %s counter\n%s_total %d\n", fam, fam, s.Counters[n])
+	}
+	for _, n := range sortedNames(s.Gauges) {
+		fam := promName(n)
+		ew.printf("# TYPE %s gauge\n%s %d\n", fam, fam, s.Gauges[n])
+	}
+	for _, n := range sortedNames(s.Timers) {
+		t := s.Timers[n]
+		fam := promName(n) + "_seconds"
+		ew.printf("# TYPE %s summary\n%s_count %d\n%s_sum %s\n", fam, fam, t.Count, fam, promFloat(t.TotalSeconds))
+		ew.printf("# TYPE %s_min gauge\n%s_min %s\n", fam, fam, promFloat(t.MinSeconds))
+		ew.printf("# TYPE %s_max gauge\n%s_max %s\n", fam, fam, promFloat(t.MaxSeconds))
+	}
+	for _, n := range sortedNames(s.Histograms) {
+		writeHistogramFamily(ew, promName(n), s.Histograms[n])
+	}
+	for _, n := range sortedNames(s.Windows) {
+		ws := s.Windows[n]
+		fam := promName(n)
+		writeHistogramFamily(ew, fam, ws.HistogramSnapshot)
+		ew.printf("# TYPE %s_window_seconds gauge\n%s_window_seconds %s\n", fam, fam, promFloat(ws.WindowSeconds))
+		ew.printf("# TYPE %s_p50 gauge\n%s_p50 %s\n", fam, fam, promFloat(ws.Quantile(0.50)))
+		ew.printf("# TYPE %s_p99 gauge\n%s_p99 %s\n", fam, fam, promFloat(ws.Quantile(0.99)))
+		rate := 0.0
+		if ws.WindowSeconds > 0 {
+			rate = float64(ws.Count) / ws.WindowSeconds
+		}
+		ew.printf("# TYPE %s_per_sec gauge\n%s_per_sec %s\n", fam, fam, promFloat(rate))
+	}
+	ew.printf("# EOF\n")
+	return ew.err
+}
+
+// writeHistogramFamily emits one classic Prometheus histogram: cumulative
+// buckets keyed by upper bound, the mandatory "+Inf" bucket, sum, and count.
+func writeHistogramFamily(ew *errWriter, fam string, h HistogramSnapshot) {
+	ew.printf("# TYPE %s histogram\n", fam)
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		ew.printf("%s_bucket{le=\"%s\"} %d\n", fam, promFloat(b.Hi), cum)
+	}
+	ew.printf("%s_bucket{le=\"+Inf\"} %d\n", fam, h.Count)
+	ew.printf("%s_sum %s\n%s_count %d\n", fam, promFloat(h.Sum), fam, h.Count)
+}
+
+// promName flattens a dotted registry name onto the Prometheus name grammar.
+func promName(name string) string {
+	return strings.ReplaceAll(name, ".", "_")
+}
+
+// promFloat renders a float sample value; the %g forms OpenMetrics accepts.
+func promFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// errWriter latches the first write error so the exposition loop stays
+// linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}

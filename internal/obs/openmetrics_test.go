@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// populated builds a registry with one metric of every kind, on a frozen
+// clock for the windowed histogram.
+func populated(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("serve.http.requests").Add(42)
+	r.Gauge("serve.http.inflight").Set(3)
+	r.Observe("serve.request.handle", 250*time.Millisecond)
+	h := r.Histogram("eval.approx.nodes")
+	for _, v := range []float64{1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	w := r.Windowed("serve.request.latency_seconds")
+	for i := 0; i < 100; i++ {
+		w.Observe(0.010)
+	}
+	w.Observe(0.080) // a tail outlier
+	return r
+}
+
+func TestWriteOpenMetrics(t *testing.T) {
+	var b strings.Builder
+	if err := populated(t).WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("exposition must end with # EOF, got tail %q", out[max(0, len(out)-40):])
+	}
+	for _, want := range []string{
+		"# TYPE serve_http_requests counter\nserve_http_requests_total 42\n",
+		"serve_http_inflight 3\n",
+		"# TYPE serve_request_handle_seconds summary\n",
+		"serve_request_handle_seconds_count 1\n",
+		"# TYPE eval_approx_nodes histogram\n",
+		"serve_request_latency_seconds_window_seconds 60\n",
+		"# TYPE serve_request_latency_seconds_p50 gauge\n",
+		"# TYPE serve_request_latency_seconds_p99 gauge\n",
+		"# TYPE serve_request_latency_seconds_per_sec gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Histogram buckets must be cumulative and capped by the +Inf bucket.
+	var lastCum int64 = -1
+	infSeen := false
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "eval_approx_nodes_bucket") {
+			continue
+		}
+		_, val, _ := strings.Cut(line, "} ")
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < lastCum {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, lastCum)
+		}
+		lastCum = n
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if n != 4 {
+				t.Errorf("+Inf bucket = %d, want total count 4", n)
+			}
+		}
+	}
+	if !infSeen {
+		t.Error("histogram family must include the +Inf bucket")
+	}
+
+	// The windowed rate is count over the window span.
+	if !strings.Contains(out, "serve_request_latency_seconds_per_sec "+promFloat(101.0/60)) {
+		t.Errorf("missing per_sec sample in:\n%s", out)
+	}
+}
+
+func TestOpenMetricsWindowQuantiles(t *testing.T) {
+	r := NewRegistry()
+	w := r.Windowed("serve.request.latency_seconds")
+	for i := 0; i < 99; i++ {
+		w.Observe(0.010)
+	}
+	for i := 0; i < 99; i++ {
+		w.Observe(1.5)
+	}
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	p50 := sampleValue(t, b.String(), "serve_request_latency_seconds_p50")
+	p99 := sampleValue(t, b.String(), "serve_request_latency_seconds_p99")
+	if p50 >= 1 {
+		t.Errorf("p50 = %v, want below the slow mode", p50)
+	}
+	if p99 < 1 || p99 > 2 {
+		t.Errorf("p99 = %v, want within the slow mode", p99)
+	}
+}
+
+// sampleValue extracts one unlabeled sample from an exposition.
+func sampleValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			t.Fatalf("bad sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("no sample named %s in:\n%s", name, exposition)
+	return 0
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	r := populated(t)
+	rec := NewFlightRecorder(4)
+	tr := NewTrace("//slow/query")
+	tr.StartSpan("eval.plan").End()
+	tr.Finish()
+	rec.Record(tr)
+	mux := DebugMux(r, rec)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		if w.Code != 200 {
+			t.Fatalf("GET %s: status %d", path, w.Code)
+		}
+		return w
+	}
+
+	if w := get("/metrics"); w.Header().Get("Content-Type") != OpenMetricsContentType {
+		t.Errorf("/metrics content type = %q", w.Header().Get("Content-Type"))
+	} else if !strings.Contains(w.Body.String(), "serve_http_requests_total 42") {
+		t.Error("/metrics missing counter sample")
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/obs").Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/debug/obs not JSON: %v", err)
+	}
+	if snap.Counters["serve.http.requests"] != 42 {
+		t.Errorf("/debug/obs counters = %v", snap.Counters)
+	}
+	if snap.Windows["serve.request.latency_seconds"].Count != 101 {
+		t.Errorf("/debug/obs windows = %v", snap.Windows)
+	}
+
+	if body := get("/debug/obs/text").Body.String(); !strings.Contains(body, "serve.http.requests 42") {
+		t.Errorf("/debug/obs/text missing flat sample:\n%s", body)
+	}
+
+	var traces []TraceSnapshot
+	if err := json.Unmarshal(get("/debug/obs/slow").Body.Bytes(), &traces); err != nil {
+		t.Fatalf("/debug/obs/slow not JSON: %v", err)
+	}
+	if len(traces) != 1 || traces[0].Name != "//slow/query" {
+		t.Errorf("/debug/obs/slow = %+v", traces)
+	}
+
+	var errs []string
+	if err := json.Unmarshal(get("/debug/obs/errors").Body.Bytes(), &errs); err != nil {
+		t.Fatalf("/debug/obs/errors not JSON: %v", err)
+	}
+	if len(errs) != 0 {
+		t.Errorf("clean registry reported errors: %v", errs)
+	}
+
+	if body := get("/debug/pprof/").Body.String(); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ index looks wrong")
+	}
+}
+
+// TestDebugMuxNilRecorder pins the embedding contract: a mux without a
+// flight recorder serves an empty JSON array, not null.
+func TestDebugMuxNilRecorder(t *testing.T) {
+	mux := DebugMux(NewRegistry(), nil)
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/debug/obs/slow", nil))
+	if got := strings.TrimSpace(w.Body.String()); got != "[]" {
+		t.Errorf("/debug/obs/slow with nil recorder = %q, want []", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 )
 
 // Snapshot is a point-in-time copy of every metric in a registry, in a form
@@ -15,6 +16,14 @@ type Snapshot struct {
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Timers     map[string]TimerSnapshot     `json:"timers,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Windows    map[string]WindowSnapshot    `json:"windows,omitempty"`
+}
+
+// WindowSnapshot is the exported state of one windowed histogram: the span
+// the merged view covers plus the merged distribution itself.
+type WindowSnapshot struct {
+	WindowSeconds float64 `json:"window_seconds"`
+	HistogramSnapshot
 }
 
 // TimerSnapshot is the exported state of one phase timer. Durations are in
@@ -99,6 +108,15 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Histograms[n] = snapshotHistogram(h)
 		}
 	}
+	if len(r.windows) > 0 {
+		s.Windows = make(map[string]WindowSnapshot, len(r.windows))
+		for n, w := range r.windows {
+			s.Windows[n] = WindowSnapshot{
+				WindowSeconds:     w.Window().Seconds(),
+				HistogramSnapshot: w.Merged(),
+			}
+		}
+	}
 	return s
 }
 
@@ -135,17 +153,39 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// WriteJSONFile writes the registry snapshot to the file at path.
+// WriteJSONFile writes the registry snapshot to the file at path. The write
+// is atomic — the snapshot lands in a temp file in the same directory and is
+// renamed over path — so a crash mid-write can never leave a truncated
+// sidecar next to otherwise-valid outputs.
 func (r *Registry) WriteJSONFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("obs: %w", err)
 	}
-	if err := r.WriteJSON(f); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := r.WriteJSON(f); err != nil {
+		return cleanup(err)
+	}
+	// CreateTemp files are 0600; published snapshots should match the
+	// usual create mode.
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(fmt.Errorf("obs: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
 }
 
 // WriteText writes the snapshot in an expvar-style flat text form, one
@@ -174,6 +214,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 		h := s.Histograms[n]
 		if _, err := fmt.Fprintf(w, "%s.count %d\n%s.sum %g\n%s.min %g\n%s.max %g\n",
 			n, h.Count, n, h.Sum, n, h.Min, n, h.Max); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(s.Windows) {
+		ws := s.Windows[n]
+		if _, err := fmt.Fprintf(w, "%s.window_seconds %g\n%s.count %d\n%s.p50 %g\n%s.p99 %g\n",
+			n, ws.WindowSeconds, n, ws.Count, n, ws.Quantile(0.50), n, ws.Quantile(0.99)); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is the request-scoped telemetry record of one query: a tree of named
+// phase spans (parse, plan, memo, emit, ...) hung off a root span, plus a
+// small bag of per-request counters. Traces complement the process-global
+// Registry: the registry aggregates across requests, a Trace explains one.
+//
+// A Trace travels through the evaluation stack via context.Context
+// (ContextWithTrace / TraceFrom). Every method is safe on a nil *Trace and
+// does no work there, so instrumented code calls unconditionally and an
+// untraced request pays only the context lookup — the disabled path takes
+// no clock readings and allocates nothing.
+//
+// Traces are concurrency-safe: spans may be started and ended from the
+// goroutines a request fans out to.
+type Trace struct {
+	id    uint64
+	name  string
+	start time.Time
+
+	spanSeq atomic.Uint64
+
+	mu       sync.Mutex
+	spans    []SpanRecord
+	counters map[string]int64
+	total    time.Duration
+	finished bool
+}
+
+// traceEpoch distinguishes trace IDs across process restarts; traceSeq
+// distinguishes them within a process.
+var (
+	traceEpoch = uint64(time.Now().UnixNano())
+	traceSeq   atomic.Uint64
+)
+
+// NewTrace starts a trace for one request. name is free-form display text
+// (typically the query source) retained in snapshots and the slow-query
+// flight recorder.
+func NewTrace(name string) *Trace {
+	return &Trace{
+		id:    (traceEpoch << 20) | (traceSeq.Add(1) & 0xfffff),
+		name:  name,
+		start: time.Now(),
+	}
+}
+
+// ID returns the trace identifier, unique within the process and seeded per
+// process start.
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// IDString is the trace ID in the fixed-width hex form responses and logs
+// carry.
+func (t *Trace) IDString() string {
+	if t == nil {
+		return ""
+	}
+	return fmt.Sprintf("%016x", t.id)
+}
+
+// SpanRecord is one completed span of a trace: its IDs, position in the span
+// tree, and timing relative to the trace start.
+type SpanRecord struct {
+	SpanID   uint64        `json:"span_id"`
+	ParentID uint64        `json:"parent_id"` // 0: child of the root span
+	Name     string        `json:"name"`
+	Start    time.Duration `json:"start_ns"` // offset from trace start
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// TraceSpan is an in-flight span of a Trace. The zero value (from a nil
+// trace) is inert: End and Child are no-ops.
+type TraceSpan struct {
+	t      *Trace
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+}
+
+// StartSpan opens a phase span as a direct child of the trace's root. On a
+// nil trace it returns an inert span without reading the clock.
+func (t *Trace) StartSpan(name string) TraceSpan {
+	if t == nil {
+		return TraceSpan{}
+	}
+	return TraceSpan{t: t, id: t.spanSeq.Add(1), name: name, start: time.Now()}
+}
+
+// Child opens a sub-span nested under s. Inert on a span of a nil trace.
+func (s TraceSpan) Child(name string) TraceSpan {
+	if s.t == nil {
+		return TraceSpan{}
+	}
+	return TraceSpan{t: s.t, id: s.t.spanSeq.Add(1), parent: s.id, name: name, start: time.Now()}
+}
+
+// End closes the span, recording it on the trace, and returns its duration.
+func (s TraceSpan) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, SpanRecord{
+		SpanID:   s.id,
+		ParentID: s.parent,
+		Name:     s.name,
+		Start:    s.start.Sub(s.t.start),
+		Duration: d,
+	})
+	s.t.mu.Unlock()
+	return d
+}
+
+// AddCounter accumulates a named per-request counter (embeddings enumerated,
+// result nodes emitted, ...) onto the trace.
+func (t *Trace) AddCounter(name string, n int64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.counters == nil {
+		t.counters = make(map[string]int64, 4)
+	}
+	t.counters[name] += n
+	t.mu.Unlock()
+}
+
+// Finish stamps the trace's total duration (first call wins) and returns it.
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.finished {
+		t.total = time.Since(t.start)
+		t.finished = true
+	}
+	return t.total
+}
+
+// TraceSnapshot is the immutable, JSON-serializable form of a finished
+// trace, as retained by the flight recorder and served at /debug/obs/slow.
+type TraceSnapshot struct {
+	TraceID      string           `json:"trace_id"`
+	Name         string           `json:"name"`
+	StartUnixNS  int64            `json:"start_unix_ns"`
+	TotalSeconds float64          `json:"total_seconds"`
+	Spans        []SpanRecord     `json:"spans,omitempty"`
+	Counters     map[string]int64 `json:"counters,omitempty"`
+}
+
+// Snapshot freezes the trace. Unfinished traces report the time elapsed so
+// far as their total.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := t.total
+	if !t.finished {
+		total = time.Since(t.start)
+	}
+	s := TraceSnapshot{
+		TraceID:      fmt.Sprintf("%016x", t.id),
+		Name:         t.name,
+		StartUnixNS:  t.start.UnixNano(),
+		TotalSeconds: total.Seconds(),
+		Spans:        append([]SpanRecord(nil), t.spans...),
+	}
+	if len(t.counters) > 0 {
+		s.Counters = make(map[string]int64, len(t.counters))
+		for k, v := range t.counters {
+			s.Counters[k] = v
+		}
+	}
+	return s
+}
+
+// traceKey is the context key Traces travel under.
+type traceKey struct{}
+
+// ContextWithTrace returns a context carrying t. A nil t returns ctx
+// unchanged.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil when the request is
+// untraced (including a nil ctx). All Trace methods accept the nil result,
+// so callers need not branch.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,280 @@
+// Package serve is the query-serving layer of the TreeSketch system: a
+// long-running HTTP server that loads one or more synopses and answers
+// selectivity-estimate requests from many concurrent clients, with the
+// serving-grade telemetry the batch CLIs never needed — per-request span
+// traces, a sliding-window latency histogram (so p50/p99 describe the last
+// minute under load, not the process lifetime), a slow-query flight
+// recorder, and an OpenMetrics /metrics endpoint.
+//
+// The read path is lock-light: synopses are published into an immutable map
+// swapped atomically (the same read-mostly pattern eval's rank arrays use),
+// so request goroutines never contend on the catalog. Each request gets a
+// deadline-bounded context carrying an obs.Trace; the eval layer records its
+// plan/memo/emit phases onto it.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treesketch/internal/eval"
+	"treesketch/internal/obs"
+	"treesketch/internal/query"
+	"treesketch/internal/sketch"
+)
+
+// DefaultDeadline bounds request handling when Options.Deadline is unset.
+const DefaultDeadline = 2 * time.Second
+
+// Options configures a Server.
+type Options struct {
+	// Deadline is the per-request processing budget; requests past it get
+	// 503 with a deadline_exceeded error. 0 means DefaultDeadline;
+	// negative disables the deadline.
+	Deadline time.Duration
+	// MaxEmbeddings caps embedding enumeration per query (eval.Options).
+	// 0 keeps eval's default.
+	MaxEmbeddings int
+	// SlowTraces is the flight recorder's capacity: how many of the
+	// slowest request traces /debug/obs/slow retains. 0 means
+	// obs.DefaultFlightRecorderSize.
+	SlowTraces int
+	// Metrics receives the server's serve.* metrics and the eval.approx.*
+	// metrics of the queries it runs. Nil selects obs.Default.
+	Metrics *obs.Registry
+}
+
+// Server answers selectivity estimates over HTTP. Construct with New, add
+// synopses with AddSketch, and mount Handler on an http.Server.
+type Server struct {
+	reg      *obs.Registry
+	rec      *obs.FlightRecorder
+	deadline time.Duration
+	maxEmb   int
+
+	// catalog is an immutable map[string]*sketch.Sketch swapped wholesale
+	// on update, so lookups are a single atomic load.
+	catalog atomic.Pointer[map[string]*sketch.Sketch]
+	mu      sync.Mutex // serializes catalog writers
+
+	mRequests *obs.Counter
+	mErrors   *obs.Counter
+	mDeadline *obs.Counter
+	mNotFound *obs.Counter
+	mRetained *obs.Counter
+	gInflight *obs.Gauge
+	gSketches *obs.Gauge
+	wLatency  *obs.WindowedHistogram
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	reg := obs.Or(opts.Metrics)
+	deadline := opts.Deadline
+	if deadline == 0 {
+		deadline = DefaultDeadline
+	}
+	s := &Server{
+		reg:      reg,
+		rec:      obs.NewFlightRecorder(opts.SlowTraces),
+		deadline: deadline,
+		maxEmb:   opts.MaxEmbeddings,
+
+		mRequests: reg.Counter("serve.http.requests"),
+		mErrors:   reg.Counter("serve.http.errors"),
+		mDeadline: reg.Counter("serve.http.deadline_exceeded"),
+		mNotFound: reg.Counter("serve.http.not_found"),
+		mRetained: reg.Counter("trace.slow.retained"),
+		gInflight: reg.Gauge("serve.http.inflight"),
+		gSketches: reg.Gauge("serve.catalog.sketches"),
+		wLatency:  reg.Windowed("serve.request.latency_seconds"),
+	}
+	empty := map[string]*sketch.Sketch{}
+	s.catalog.Store(&empty)
+	return s
+}
+
+// FlightRecorder exposes the server's slow-trace recorder (for tests and
+// embedding binaries).
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.rec }
+
+// Registry returns the registry the server reports into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// AddSketch publishes a synopsis under the given dataset name, replacing any
+// previous synopsis of that name. The swap is atomic: in-flight requests
+// keep the catalog they already loaded.
+func (s *Server) AddSketch(name string, sk *sketch.Sketch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.catalog.Load()
+	next := make(map[string]*sketch.Sketch, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = sk
+	s.catalog.Store(&next)
+	s.gSketches.Set(int64(len(next)))
+}
+
+// Datasets returns the published dataset names, sorted.
+func (s *Server) Datasets() []string {
+	cat := *s.catalog.Load()
+	names := make([]string, 0, len(cat))
+	for n := range cat {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookup resolves a dataset name; an empty name resolves iff exactly one
+// synopsis is published.
+func (s *Server) lookup(name string) (*sketch.Sketch, string, bool) {
+	cat := *s.catalog.Load()
+	if name == "" {
+		if len(cat) == 1 {
+			for n, sk := range cat {
+				return sk, n, true
+			}
+		}
+		return nil, "", false
+	}
+	sk, ok := cat[name]
+	return sk, name, ok
+}
+
+// Handler returns the server's full HTTP surface: the estimate API plus the
+// obs debug mux (/metrics, /debug/obs, /debug/obs/slow, /debug/pprof/*).
+func (s *Server) Handler() http.Handler {
+	mux := obs.DebugMux(s.reg, s.rec)
+	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// EstimateResponse is the JSON body of a successful /estimate call.
+type EstimateResponse struct {
+	TraceID     string  `json:"trace_id"`
+	Dataset     string  `json:"dataset"`
+	Query       string  `json:"query"`
+	Selectivity float64 `json:"selectivity"`
+	ResultNodes int     `json:"result_nodes"`
+	Empty       bool    `json:"empty"`
+	Truncated   bool    `json:"truncated"`
+	Seconds     float64 `json:"seconds"`
+}
+
+// errorResponse is the JSON body of a failed call.
+type errorResponse struct {
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// handleEstimate serves GET /estimate?q=<twig query>[&dataset=<name>]: it
+// parses the query, evaluates it approximately over the named synopsis under
+// the request deadline, and reports the selectivity estimate. The request
+// runs under an obs.Trace whose parse/plan/memo/emit phase breakdown lands
+// in the flight recorder when the request ranks among the slowest.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Inc()
+	s.gInflight.Add(1)
+	defer s.gInflight.Add(-1)
+	span := s.reg.StartSpan("serve.request.handle")
+	defer span.End()
+
+	ctx := r.Context()
+	if s.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.deadline)
+		defer cancel()
+	}
+
+	qsrc := r.URL.Query().Get("q")
+	if qsrc == "" {
+		s.fail(w, http.StatusBadRequest, "", "missing q parameter")
+		return
+	}
+	tr := obs.NewTrace(qsrc)
+	ctx = obs.ContextWithTrace(ctx, tr)
+
+	ps := tr.StartSpan("serve.parse")
+	q, err := query.Parse(qsrc)
+	ps.End()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, tr.IDString(), fmt.Sprintf("parse: %v", err))
+		return
+	}
+
+	sk, dsName, ok := s.lookup(r.URL.Query().Get("dataset"))
+	if !ok {
+		s.mNotFound.Inc()
+		s.fail(w, http.StatusNotFound, tr.IDString(),
+			fmt.Sprintf("unknown dataset %q (have %v)", r.URL.Query().Get("dataset"), s.Datasets()))
+		return
+	}
+
+	res := eval.ApproxContext(ctx, sk, q, eval.Options{
+		MaxEmbeddings: s.maxEmb,
+		Metrics:       s.reg,
+	})
+
+	es := tr.StartSpan("serve.emit")
+	resp := EstimateResponse{
+		TraceID:     tr.IDString(),
+		Dataset:     dsName,
+		Query:       q.String(),
+		Selectivity: res.Selectivity(),
+		ResultNodes: len(res.Nodes),
+		Empty:       res.Empty,
+		Truncated:   res.Truncated,
+	}
+	es.End()
+
+	total := tr.Finish()
+	resp.Seconds = total.Seconds()
+	s.wLatency.Observe(total.Seconds())
+	if s.rec.Record(tr) {
+		s.mRetained.Inc()
+	}
+
+	// The deadline is enforced at phase boundaries rather than inside the
+	// enumeration loops: a request that finished over budget is answered
+	// with 503 so closed-loop clients see the overload, even though its
+	// work is already done.
+	if ctx.Err() != nil {
+		s.mDeadline.Inc()
+		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error:   fmt.Sprintf("deadline exceeded after %s", total.Round(time.Microsecond)),
+			TraceID: tr.IDString(),
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDatasets serves GET /datasets: the published dataset names.
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Datasets())
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, traceID, msg string) {
+	s.mErrors.Inc()
+	s.writeJSON(w, status, errorResponse{Error: msg, TraceID: traceID})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

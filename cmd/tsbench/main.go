@@ -48,6 +48,8 @@ func main() {
 		gate     = flag.Bool("gate", false, "with -compare: exit nonzero when any metric regresses beyond threshold")
 		slack    = flag.Float64("slack", 1, "with -compare: multiply every noise threshold (use >1 on noisy runners)")
 		refEval  = flag.Bool("ref-eval", false, "run approximate-eval legs through the reference (pre-fast-path) enumeration; accuracy metrics must match a fast-path run bit-for-bit")
+		olSec    = flag.Float64("openloop-seconds", 0, "open-loop overload leg duration per dataset (0: scale default, negative: disable)")
+		olOver   = flag.Float64("openloop-overload", 0, "open-loop offered load as a multiple of measured capacity (0: default 1.5)")
 		determ   = flag.Bool("determinism", false, "instead of benchmarking, print per-cell synopsis fingerprints and verify Workers=1 matches Workers=GOMAXPROCS; diff the output across GOMAXPROCS settings to check cross-core determinism")
 	)
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
@@ -102,6 +104,8 @@ func main() {
 		cfg.WorkloadSize = *workload
 	}
 	cfg.ReferenceEval = *refEval
+	cfg.OpenLoopSeconds = *olSec
+	cfg.OpenLoopOverload = *olOver
 	cfg.Out = os.Stdout
 
 	if *determ {

@@ -1,7 +1,9 @@
 // Command tsserve is the TreeSketch query-serving daemon: it loads one or
 // more synopses (or builds them from documents on the fly) and serves
-// selectivity estimates over HTTP with per-request deadlines, request-scoped
-// traces, windowed tail-latency metrics, and a full debug surface.
+// selectivity estimates over HTTP with per-request deadlines, bounded
+// admission (overload sheds 503 + Retry-After before any eval work),
+// request-scoped traces, windowed tail-latency metrics, runtime/GC
+// telemetry, and a full debug surface.
 //
 // Serve a prebuilt synopsis:
 //
@@ -52,6 +54,10 @@ func main() {
 		deadline = flag.Duration("deadline", serve.DefaultDeadline, "per-request processing deadline (<=0 disables)")
 		maxEmb   = flag.Int("max-embeddings", 0, "cap on embedding enumeration per query (0: eval default)")
 		slowK    = flag.Int("slow", obs.DefaultFlightRecorderSize, "how many slowest request traces /debug/obs/slow retains")
+
+		maxInflight = flag.Int("max-inflight", 0, "admission gate: max concurrently evaluating requests (0: 2x GOMAXPROCS, negative: disabled)")
+		maxQueue    = flag.Int("max-queue", 0, "admission gate: max requests waiting for a slot (0: 4x effective -max-inflight, negative: no queue)")
+		rtInterval  = flag.Duration("runtime-metrics", obs.DefaultRuntimeInterval, "runtime.* telemetry sampling interval (<=0 disables the collector)")
 	)
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -65,8 +71,14 @@ func main() {
 	srv := serve.New(serve.Options{
 		Deadline:      *deadline,
 		MaxEmbeddings: *maxEmb,
+		MaxInflight:   *maxInflight,
+		MaxQueue:      *maxQueue,
 		SlowTraces:    *slowK,
 	})
+	if *rtInterval > 0 {
+		rc := obs.StartRuntimeCollector(srv.Registry(), *rtInterval)
+		defer rc.Stop()
+	}
 
 	for name, path := range parseNamedList(*synopses) {
 		sk, err := sketch.LoadFile(path)
@@ -107,11 +119,16 @@ func main() {
 		}
 	case sig := <-sigCh:
 		fmt.Printf("tsserve: %v, draining\n", sig)
+		// Shed new work first, then let the HTTP server wait out the
+		// requests that were already admitted.
+		srv.StartDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			fatal(err)
 		}
+		completed, shed := srv.DrainStats()
+		fmt.Printf("tsserve: drained (%d completed, %d shed)\n", completed, shed)
 	}
 	if err := obsFlags.Finish(); err != nil {
 		fatal(err)

@@ -73,6 +73,19 @@ type Config struct {
 	// ServeBudgetKB is the synopsis budget the serving leg uses; 0 means
 	// the largest budget of the grid.
 	ServeBudgetKB int `json:"serve_budget_kb,omitempty"`
+	// OpenLoopSeconds is how long the open-loop overload leg offers
+	// Poisson arrivals to each dataset's tsserve instance. 0 selects a
+	// scale-appropriate default; negative disables the leg.
+	OpenLoopSeconds float64 `json:"openloop_seconds,omitempty"`
+	// OpenLoopOverload is the offered-load multiple of the measured
+	// closed-loop capacity. Default 1.5: deliberately past saturation, so
+	// the admission gate has something to shed.
+	OpenLoopOverload float64 `json:"openloop_overload,omitempty"`
+	// OpenLoopInflight is the serve.Options.MaxInflight of the open-loop
+	// leg's server; 0 means 4. Together with the leg's injected service
+	// floor it pins the leg's capacity, so overload means the same thing
+	// on every machine.
+	OpenLoopInflight int `json:"openloop_inflight,omitempty"`
 	// Out receives human-readable progress lines; nil discards them.
 	Out io.Writer `json:"-"`
 }
@@ -133,6 +146,20 @@ func (c Config) withDefaults() Config {
 	if c.ServeClients <= 0 {
 		c.ServeClients = 8
 	}
+	if c.OpenLoopSeconds == 0 {
+		c.OpenLoopSeconds = 1
+		if !c.Quick {
+			c.OpenLoopSeconds = 5
+		}
+	}
+	if c.OpenLoopOverload <= 0 {
+		c.OpenLoopOverload = 1.5
+	}
+	if c.OpenLoopInflight == 0 {
+		// A fixed limiter (not GOMAXPROCS-derived) keeps the leg's capacity
+		// — MaxInflight / openLoopServiceFloor — comparable across machines.
+		c.OpenLoopInflight = 4
+	}
 	if c.ServeBudgetKB <= 0 {
 		for _, kb := range c.BudgetsKB {
 			if kb > c.ServeBudgetKB {
@@ -175,6 +202,12 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	reg := obs.Default()
 	reg.Reset()
+	// The runtime collector starts after the reset (Reset orphans any
+	// previously registered instruments) and stops before the final
+	// snapshot, so the runtime.* families land in res.Obs covering exactly
+	// this run.
+	rc := obs.StartRuntimeCollector(reg, obs.DefaultRuntimeInterval)
+	defer rc.Stop()
 	res := &Result{
 		SchemaVersion: SchemaVersion,
 		GoVersion:     runtime.Version(),
@@ -194,7 +227,13 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
+		if cfg.OpenLoopSeconds > 0 {
+			if err := benchServeOpenLoop(res, r, cfg, ds); err != nil {
+				return nil, err
+			}
+		}
 	}
+	rc.Stop()
 	res.Obs = reg.Snapshot()
 	res.CreatedUnix = time.Now().Unix()
 	return res, nil

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treesketch/internal/exp"
+	"treesketch/internal/obs"
+	"treesketch/internal/serve"
+	"treesketch/internal/tsbuild"
+)
+
+// openLoopDeadline is the per-request budget of the open-loop leg: tight
+// enough that queue waits visibly eat into it at overload, long enough that
+// admitted requests on the quick grid finish comfortably inside it.
+const openLoopDeadline = 150 * time.Millisecond
+
+// openLoopServiceFloor is the serve.Options.InjectDelay the leg runs with.
+// The harness datasets evaluate in microseconds, so an uninstrumented
+// open loop would measure CPU scheduling rather than admission dynamics
+// (on a single-core machine, handlers that never yield can never overlap
+// at the gate, and nothing would ever shed). Injecting a few milliseconds
+// of service time per admitted request makes the leg a well-conditioned
+// queueing experiment — capacity = MaxInflight / floor on any machine —
+// while every request still runs the real parse/eval/emit stack.
+const openLoopServiceFloor = 5 * time.Millisecond
+
+// maxOpenLoopArrivals caps the arrivals one open-loop cell generates, so a
+// machine with very high closed-loop capacity cannot turn the leg into a
+// socket-churn stress test. When the cap bites, the run is shortened — never
+// the offered rate, which would undo the overload — and the progress line
+// says so.
+const maxOpenLoopArrivals = 4000
+
+// benchServeOpenLoop is the overload leg: unlike the closed-loop serving
+// leg, whose clients implicitly back off to whatever the server can sustain,
+// this leg offers load the server did NOT agree to — Poisson arrivals at a
+// deliberate multiple of the measured closed-loop capacity — and records how
+// the admission gate spends the shortfall: goodput (answered within
+// deadline), shed ratio, and the queue-wait tail. A healthy gate keeps
+// accepted-request latency inside the deadline budget and sheds the rest
+// fast; a missing or broken gate shows up here as collapsed goodput and a
+// latency window blown past the deadline.
+func benchServeOpenLoop(res *Result, r *exp.Runner, cfg Config, ds string) error {
+	progress := func(format string, args ...any) {
+		if cfg.Out != nil {
+			fmt.Fprintf(cfg.Out, "bench: "+format+"\n", args...)
+		}
+	}
+	budgetKB := cfg.ServeBudgetKB
+	key := fmt.Sprintf("openloop/%s/%02dkb", ds, budgetKB)
+
+	// Like the closed-loop leg, the open-loop leg runs against its own
+	// registry; it also runs a fast runtime collector so the scrape carries
+	// the runtime.* families a production scraper would see.
+	sreg := obs.NewRegistry()
+	rc := obs.StartRuntimeCollector(sreg, 100*time.Millisecond)
+	defer rc.Stop()
+	sk, _ := tsbuild.Build(r.Stable(ds), tsbuild.Options{BudgetBytes: budgetKB * 1024, Metrics: sreg})
+	srv := serve.New(serve.Options{
+		Metrics:     sreg,
+		Deadline:    openLoopDeadline,
+		MaxInflight: cfg.OpenLoopInflight,
+		InjectDelay: openLoopServiceFloor,
+	})
+	srv.AddSketch(ds, sk)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("bench: openloop leg listen: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		hs.Serve(ln)
+		close(done)
+	}()
+	defer func() {
+		hs.Close()
+		<-done
+	}()
+	base := "http://" + ln.Addr().String()
+
+	w := r.Workload(ds, cfg.WorkloadSize, false)
+	if len(w) == 0 {
+		return fmt.Errorf("bench: openloop leg: empty workload for %s", ds)
+	}
+	urls := make([]string, len(w))
+	for i, item := range w {
+		urls[i] = base + "/estimate?dataset=" + url.QueryEscape(ds) + "&q=" + url.QueryEscape(item.Q.String())
+	}
+	clients := cfg.ServeClients
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients * 4,
+		MaxIdleConnsPerHost: clients * 4,
+	}}
+	defer client.CloseIdleConnections()
+
+	// fetch returns the HTTP status (0 on transport error); the open loop
+	// classifies outcomes rather than failing on 503, which is the point.
+	fetch := func(u string) int {
+		resp, err := client.Get(u)
+		if err != nil {
+			return 0
+		}
+		drainBody(resp)
+		return resp.StatusCode
+	}
+
+	// Warm-up, then a short closed-loop probe measures what this process on
+	// this machine can actually sustain; the open loop offers a multiple of
+	// that, so "1.5x overload" means the same thing on every machine.
+	for _, u := range urls {
+		if st := fetch(u); st != http.StatusOK {
+			return fmt.Errorf("bench: openloop warm-up: status %d", st)
+		}
+	}
+	probeSec := cfg.OpenLoopSeconds / 4
+	if probeSec < 0.25 {
+		probeSec = 0.25
+	}
+	capacity := closedLoopRate(urls, clients, probeSec, fetch)
+	if capacity <= 0 {
+		return fmt.Errorf("bench: openloop probe measured no capacity for %s", ds)
+	}
+
+	offered := capacity * cfg.OpenLoopOverload
+	duration := time.Duration(cfg.OpenLoopSeconds * float64(time.Second))
+	if expect := offered * duration.Seconds(); expect > maxOpenLoopArrivals {
+		duration = time.Duration(maxOpenLoopArrivals / offered * float64(time.Second))
+		progress("%-10s openloop: shortening run to %.2fs (%d arrivals max at %.0f/s offered)",
+			ds, duration.Seconds(), maxOpenLoopArrivals, offered)
+	}
+
+	// Poisson arrival schedule, precomputed and seeded: exponential
+	// inter-arrival gaps at the offered rate. Replaying a fixed schedule
+	// (sleep-until-due, so a late wake-up bursts to catch up) is what makes
+	// the loop open: arrivals do not wait for responses.
+	h := fnv.New64a()
+	h.Write([]byte(ds))
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64())))
+	var schedule []time.Duration
+	for at := time.Duration(0); at < duration; {
+		at += time.Duration(rng.ExpFloat64() / offered * float64(time.Second))
+		if at < duration {
+			schedule = append(schedule, at)
+		}
+	}
+
+	var good, shed, failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, at := range schedule {
+		if sleep := at - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			switch fetch(u) {
+			case http.StatusOK:
+				good.Add(1)
+			case http.StatusServiceUnavailable:
+				shed.Add(1)
+			default:
+				failed.Add(1)
+			}
+		}(urls[i%len(urls)])
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	rc.Stop()
+
+	scraped, err := scrapeMetrics(client, base+"/metrics")
+	if err != nil {
+		return fmt.Errorf("bench: openloop scrape: %w", err)
+	}
+	arrivals := float64(len(schedule))
+	m := Metrics{
+		"serve_offered_rate":           offered,
+		"serve_capacity_rate":          capacity,
+		"serve_arrivals":               arrivals,
+		"serve_shed":                   float64(shed.Load()),
+		"serve_goodput_per_sec":        rate(float64(good.Load()), elapsed),
+		"serve_window_p50_seconds":     scraped["serve_request_latency_seconds_p50"],
+		"serve_window_p99_seconds":     scraped["serve_request_latency_seconds_p99"],
+		"serve_queue_wait_p99_seconds": scraped["serve_admission_queue_wait_seconds_p99"],
+		"runtime_goroutines":           scraped["runtime_goroutines"],
+		"runtime_gc_cycles":            scraped["runtime_gc_cycles_total"],
+	}
+	if arrivals > 0 {
+		m["serve_shed_ratio"] = float64(shed.Load()) / arrivals
+	}
+	if f := failed.Load(); f > 0 {
+		m["serve_errors"] = float64(f)
+	}
+	res.Benchmarks[key] = m
+	for _, nameErr := range sreg.NameErrors() {
+		progress("warning: %v", nameErr)
+	}
+	progress("%-10s openloop %2dKB: offered %.0f/s (%.1fx of %.0f/s) -> goodput %.0f/s, shed %.0f%%, window p99 %s, queue wait p99 %s",
+		ds, budgetKB, offered, cfg.OpenLoopOverload, capacity,
+		m["serve_goodput_per_sec"], 100*m["serve_shed_ratio"],
+		secs(m["serve_window_p99_seconds"]), secs(m["serve_queue_wait_p99_seconds"]))
+	return nil
+}
+
+func drainBody(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// closedLoopRate drives the URLs with `clients` closed-loop workers for
+// `seconds` and returns the successful completion rate — the capacity
+// estimate the open loop overloads against.
+func closedLoopRate(urls []string, clients int, seconds float64, fetch func(string) int) float64 {
+	var completed atomic.Int64
+	deadline := time.Now().Add(time.Duration(seconds * float64(time.Second)))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			for i := offset; time.Now().Before(deadline); i++ {
+				if fetch(urls[i%len(urls)]) == http.StatusOK {
+					completed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return rate(float64(completed.Load()), time.Since(start).Seconds())
+}

@@ -1,0 +1,79 @@
+package bench
+
+import "testing"
+
+func TestBenchOpenLoopLeg(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ServeSeconds = -1 // isolate the open-loop leg
+	cfg.OpenLoopSeconds = 0.5
+	cfg.OpenLoopInflight = 1 // a tiny limiter guarantees sheds at 1.5x overload
+	cfg = cfg.withDefaults()
+	res := &Result{Benchmarks: make(map[string]Metrics)}
+	if err := benchServeOpenLoop(res, newRunner(cfg), cfg, "XMark-TX"); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := res.Benchmarks["openloop/XMark-TX/04kb"]
+	if !ok {
+		t.Fatalf("missing openloop benchmark, have %v", sortedKeys(res.Benchmarks))
+	}
+	t.Logf("openloop metrics: %v", m)
+	if m["serve_arrivals"] <= 0 || m["serve_capacity_rate"] <= 0 {
+		t.Fatalf("load metrics = %v", m)
+	}
+	if m["serve_offered_rate"] <= m["serve_capacity_rate"] {
+		t.Errorf("offered %g not above capacity %g: the leg must overload",
+			m["serve_offered_rate"], m["serve_capacity_rate"])
+	}
+	if m["serve_goodput_per_sec"] <= 0 {
+		t.Errorf("goodput = %g, want > 0", m["serve_goodput_per_sec"])
+	}
+	if r := m["serve_shed_ratio"]; r <= 0 || r >= 1 {
+		t.Errorf("shed ratio = %g, want in (0, 1) under 1.5x overload with a size-1 limiter", r)
+	}
+	// Accepted requests stay within the deadline budget: that is what the
+	// admission gate buys, and what the gated window p99 tracks.
+	if p99 := m["serve_window_p99_seconds"]; p99 <= 0 || p99 > openLoopDeadline.Seconds() {
+		t.Errorf("window p99 = %gs, want within (0, %gs]", p99, openLoopDeadline.Seconds())
+	}
+	if _, ok := m["serve_queue_wait_p99_seconds"]; !ok {
+		t.Error("missing serve_queue_wait_p99_seconds")
+	}
+	// The scrape carries the runtime.* families of the leg's collector.
+	if m["runtime_goroutines"] <= 0 {
+		t.Errorf("runtime_goroutines = %g, want > 0", m["runtime_goroutines"])
+	}
+	if _, ok := m["serve_errors"]; ok {
+		t.Errorf("open-loop run reported transport errors: %v", m)
+	}
+}
+
+func TestOpenLoopLegRunsInsideGrid(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ServeSeconds = -1
+	cfg.OpenLoopSeconds = 0.3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Benchmarks["openloop/XMark-TX/04kb"]; !ok {
+		t.Fatalf("grid run missing openloop leg, have %v", sortedKeys(res.Benchmarks))
+	}
+	// The grid-level runtime collector lands its families in the embedded
+	// obs snapshot.
+	if res.Obs.Gauges["runtime.goroutines"] <= 0 {
+		t.Errorf("obs snapshot runtime.goroutines = %d, want > 0", res.Obs.Gauges["runtime.goroutines"])
+	}
+	if _, ok := res.Obs.Windows["runtime.sched.latency_seconds"]; !ok {
+		t.Error("obs snapshot missing runtime.sched.latency_seconds window")
+	}
+
+	// Negative disables the leg.
+	cfg.OpenLoopSeconds = -1
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Benchmarks["openloop/XMark-TX/04kb"]; ok {
+		t.Error("OpenLoopSeconds < 0 should disable the openloop leg")
+	}
+}

@@ -19,6 +19,39 @@ func register(r *obs.Registry) {
 	r.Gauge("serve.dup.latency") /* want "registered as gauge here but as windowed at" */
 }
 
+// registerAdmission covers the admission-control family added with the
+// overload work: queue depth/wait instrumentation and shed counters all go
+// through the standard grammar.
+func registerAdmission(r *obs.Registry) {
+	r.Counter("serve.admission.admitted")        // ok
+	r.Counter("serve.admission.queued")          // ok
+	r.Counter("serve.admission.shed_queue_full") // ok
+	r.Counter("serve.admission.shed_deadline")   // ok
+	r.Gauge("serve.admission.queue_depth")       // ok
+	r.Windowed("serve.admission.queue_wait_seconds")
+
+	r.Counter("serve.admission.shed-deadline")    /* want "contains .-." */
+	r.Counter("serve.Admission.shed")             /* want "contains .A." */
+	r.Counter("serve.admission.queue.wait.depth") /* want "has 5 segment" */
+}
+
+// registerRuntime covers the runtime telemetry family. In the real tree
+// these names are registered inside package obs (which the analyzer skips
+// as the instrument implementation); this fixture pins that the names
+// themselves satisfy the grammar any other package would be held to.
+func registerRuntime(r *obs.Registry) {
+	r.Gauge("runtime.goroutines")               // ok
+	r.Gauge("runtime.heap.alloc_bytes")         // ok
+	r.Counter("runtime.gc.cycles")              // ok
+	r.Windowed("runtime.gc.pause_seconds")      // ok
+	r.Windowed("runtime.sched.latency_seconds") // ok
+
+	r.Gauge("runtime.heapAlloc")     /* want "contains .A." */
+	r.Counter("runtime.gc.cycles.")  /* want "empty segment" */
+	r.Gauge("2runtime.gc.cycles")    /* want "must start with a letter" */
+	r.Gauge("runtime.2nd_gc.cycles") // ok: later segments may start with a digit
+}
+
 func handle(r *obs.Registry) {
 	// The trace label is raw request text, not a metric name: exempt.
 	tr := obs.NewTrace("//item[//keyword]{//name?}")

@@ -11,7 +11,10 @@ import (
 //	/metrics            OpenMetrics/Prometheus text exposition
 //	/debug/obs          full JSON snapshot of the registry
 //	/debug/obs/text     flat expvar-style text snapshot (grep-friendly)
-//	/debug/obs/slow     the flight recorder's K slowest traces as JSON
+//	/debug/obs/slow     the flight recorder's K slowest traces as JSON;
+//	                    ?dataset=<name> keeps only traces whose "dataset"
+//	                    label matches, so operators can scope the flight
+//	                    recorder to one tenant
 //	/debug/obs/errors   metric-name registration errors as JSON
 //	/debug/pprof/*      runtime profiling (CPU, heap, goroutines, trace)
 //
@@ -32,9 +35,18 @@ func DebugMux(r *Registry, rec *FlightRecorder) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		r.WriteText(w)
 	})
-	mux.HandleFunc("/debug/obs/slow", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/obs/slow", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		traces := rec.Slowest()
+		if ds := req.URL.Query().Get("dataset"); ds != "" {
+			kept := traces[:0]
+			for _, t := range traces {
+				if t.Labels["dataset"] == ds {
+					kept = append(kept, t)
+				}
+			}
+			traces = kept
+		}
 		if traces == nil {
 			traces = []TraceSnapshot{}
 		}

@@ -190,6 +190,44 @@ func TestDebugMuxEndpoints(t *testing.T) {
 	}
 }
 
+// TestDebugMuxSlowDatasetFilter checks the per-tenant flight-recorder view:
+// ?dataset= keeps only traces labeled with that dataset.
+func TestDebugMuxSlowDatasetFilter(t *testing.T) {
+	rec := NewFlightRecorder(8)
+	for _, ds := range []string{"imdb", "xmark", "imdb"} {
+		tr := NewTrace("//q/" + ds)
+		tr.SetLabel("dataset", ds)
+		tr.Finish()
+		rec.Record(tr)
+	}
+	mux := DebugMux(NewRegistry(), rec)
+	slow := func(path string) []TraceSnapshot {
+		t.Helper()
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		var traces []TraceSnapshot
+		if err := json.Unmarshal(w.Body.Bytes(), &traces); err != nil {
+			t.Fatalf("GET %s not JSON: %v", path, err)
+		}
+		return traces
+	}
+	if got := slow("/debug/obs/slow"); len(got) != 3 {
+		t.Errorf("unfiltered slow log has %d traces, want 3", len(got))
+	}
+	imdb := slow("/debug/obs/slow?dataset=imdb")
+	if len(imdb) != 2 {
+		t.Fatalf("dataset=imdb kept %d traces, want 2", len(imdb))
+	}
+	for _, tr := range imdb {
+		if tr.Labels["dataset"] != "imdb" {
+			t.Errorf("filtered trace has labels %v", tr.Labels)
+		}
+	}
+	if got := slow("/debug/obs/slow?dataset=nope"); len(got) != 0 {
+		t.Errorf("dataset=nope kept %d traces, want 0", len(got))
+	}
+}
+
 // TestDebugMuxNilRecorder pins the embedding contract: a mux without a
 // flight recorder serves an empty JSON array, not null.
 func TestDebugMuxNilRecorder(t *testing.T) {

@@ -1,0 +1,42 @@
+package obs
+
+import "time"
+
+// QueueMetrics bundles the standard telemetry of one bounded queue: a depth
+// gauge ("<base>.queue_depth") and a windowed wait-time histogram
+// ("<base>.queue_wait_seconds"), so every queue in the system — the serving
+// layer's admission queue today, compaction or fan-out queues tomorrow —
+// exports the same two families and an operator can read any of them the
+// same way: depth says how backed up the queue is right now, the windowed
+// wait p99 says what the backlog cost recent requests.
+//
+// The instrument does not own the queue; the owner calls Enter when an
+// element starts waiting and Exit with the measured wait when it stops
+// (whether it was ultimately served or shed). Both operations are lock-free
+// atomic updates, safe from any number of goroutines.
+type QueueMetrics struct {
+	// Depth is the current number of waiting elements.
+	Depth *Gauge
+	// Wait is the recent distribution of time spent waiting, in seconds.
+	Wait *WindowedHistogram
+}
+
+// NewQueueMetrics registers the queue family under base (for example
+// "serve.admission" yields "serve.admission.queue_depth" and
+// "serve.admission.queue_wait_seconds") on r (nil means Default).
+func NewQueueMetrics(r *Registry, base string) *QueueMetrics {
+	r = Or(r)
+	return &QueueMetrics{
+		Depth: r.Gauge(base + ".queue_depth"),
+		Wait:  r.Windowed(base + ".queue_wait_seconds"),
+	}
+}
+
+// Enter records one element joining the queue.
+func (q *QueueMetrics) Enter() { q.Depth.Add(1) }
+
+// Exit records one element leaving the queue after waiting d.
+func (q *QueueMetrics) Exit(d time.Duration) {
+	q.Depth.Add(-1)
+	q.Wait.Observe(d.Seconds())
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultRuntimeInterval is the sampling period used when a
+// RuntimeCollector is started with a non-positive interval. One second is
+// frequent enough that a 60-second metrics window holds dozens of samples,
+// and cheap enough (one ReadMemStats stop-the-world per tick) to leave on
+// in production.
+const DefaultRuntimeInterval = time.Second
+
+// RuntimeCollector samples Go runtime health on a ticker into a registry:
+//
+//	runtime.goroutines              gauge     live goroutine count
+//	runtime.gomaxprocs              gauge     scheduler parallelism
+//	runtime.heap.alloc_bytes        gauge     live heap bytes
+//	runtime.heap.objects            gauge     live heap objects
+//	runtime.mem.sys_bytes           gauge     total bytes from the OS
+//	runtime.gc.cycles               counter   GC cycles since Start
+//	runtime.gc.pause_seconds        windowed  stop-the-world pause durations
+//	runtime.sched.latency_seconds   windowed  timer-wakeup lateness proxy
+//
+// The last family is an overload canary: the collector sleeps for its
+// interval and records how late the wake-up actually was. On an idle
+// process the lateness is microseconds; when the run queues are saturated
+// (the exact condition admission control exists to survive), wake-ups slip
+// by milliseconds, and the windowed p99 shows it before request latency
+// collapses.
+//
+// The collector lives entirely inside package obs — the telemetry boundary
+// the tslint nondet analyzer cuts — so its clock reads and its sampling
+// goroutine can never reach a fingerprint path.
+type RuntimeCollector struct {
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	once     sync.Once
+
+	gGoroutines  *Gauge
+	gProcs       *Gauge
+	gHeapAlloc   *Gauge
+	gHeapObjects *Gauge
+	gSys         *Gauge
+	cGC          *Counter
+	wPause       *WindowedHistogram
+	wSched       *WindowedHistogram
+
+	// lastNumGC is the GC cycle count as of the previous sample; only the
+	// sampling goroutine (and Stop, after it exits) touches it.
+	lastNumGC uint32
+}
+
+// StartRuntimeCollector registers the runtime.* metric families on r (nil
+// means Default) and starts a goroutine sampling them every interval
+// (non-positive means DefaultRuntimeInterval). Gauges are primed with one
+// synchronous sample before returning, so a scrape immediately after Start
+// already sees the process. Call Stop to end collection.
+func StartRuntimeCollector(r *Registry, interval time.Duration) *RuntimeCollector {
+	r = Or(r)
+	if interval <= 0 {
+		interval = DefaultRuntimeInterval
+	}
+	c := &RuntimeCollector{
+		interval:     interval,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		gGoroutines:  r.Gauge("runtime.goroutines"),
+		gProcs:       r.Gauge("runtime.gomaxprocs"),
+		gHeapAlloc:   r.Gauge("runtime.heap.alloc_bytes"),
+		gHeapObjects: r.Gauge("runtime.heap.objects"),
+		gSys:         r.Gauge("runtime.mem.sys_bytes"),
+		cGC:          r.Counter("runtime.gc.cycles"),
+		wPause:       r.Windowed("runtime.gc.pause_seconds"),
+		wSched:       r.Windowed("runtime.sched.latency_seconds"),
+	}
+	// Baseline the GC cycle count so runtime.gc.cycles counts cycles during
+	// collection, not process history.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.lastNumGC = ms.NumGC
+	c.sample()
+	go c.run()
+	return c
+}
+
+// Stop ends collection, waits for the sampling goroutine to exit, and takes
+// one final sample so short-lived runs (a benchmark leg, a test) still
+// publish their last state. Stop is idempotent, so callers can pair a defer
+// with an explicit early Stop.
+func (c *RuntimeCollector) Stop() {
+	c.once.Do(func() {
+		close(c.stop)
+		<-c.done
+		c.sample()
+	})
+}
+
+func (c *RuntimeCollector) run() {
+	defer close(c.done)
+	for {
+		t0 := time.Now()
+		timer := time.NewTimer(c.interval)
+		select {
+		case <-c.stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+			// Scheduling-latency proxy: how much later than requested the
+			// timer actually fired. Saturated run queues show up here.
+			late := time.Since(t0) - c.interval
+			if late < 0 {
+				late = 0
+			}
+			c.wSched.Observe(late.Seconds())
+			c.sample()
+		}
+	}
+}
+
+// sample reads the runtime counters into the registered metrics.
+func (c *RuntimeCollector) sample() {
+	c.gGoroutines.Set(int64(runtime.NumGoroutine()))
+	c.gProcs.Set(int64(runtime.GOMAXPROCS(0)))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.gHeapAlloc.Set(int64(ms.HeapAlloc))
+	c.gHeapObjects.Set(int64(ms.HeapObjects))
+	c.gSys.Set(int64(ms.Sys))
+	if n := ms.NumGC - c.lastNumGC; n > 0 {
+		c.cGC.Add(int64(n))
+		// Replay the pauses of the new cycles out of the runtime's fixed
+		// 256-entry ring (most recent at (NumGC+255)%256).
+		if n > 256 {
+			n = 256
+		}
+		for i := uint32(0); i < n; i++ {
+			pause := ms.PauseNs[(ms.NumGC-i+255)%256]
+			c.wPause.Observe(float64(pause) / 1e9)
+		}
+		c.lastNumGC = ms.NumGC
+	}
+}

@@ -31,6 +31,7 @@ type Trace struct {
 	mu       sync.Mutex
 	spans    []SpanRecord
 	counters map[string]int64
+	labels   map[string]string
 	total    time.Duration
 	finished bool
 }
@@ -140,6 +141,32 @@ func (t *Trace) AddCounter(name string, n int64) {
 	t.mu.Unlock()
 }
 
+// SetLabel attaches a string label (a dataset name, a tenant, a shed
+// reason) to the trace; later values overwrite earlier ones. Labels ride
+// along into snapshots, where the flight recorder's HTTP surface can filter
+// on them. Keys and values are free-form display text, like the trace name.
+func (t *Trace) SetLabel(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.labels == nil {
+		t.labels = make(map[string]string, 2)
+	}
+	t.labels[key] = value
+	t.mu.Unlock()
+}
+
+// Label returns the current value of one label ("" when unset).
+func (t *Trace) Label(key string) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.labels[key]
+}
+
 // Finish stamps the trace's total duration (first call wins) and returns it.
 func (t *Trace) Finish() time.Duration {
 	if t == nil {
@@ -157,12 +184,13 @@ func (t *Trace) Finish() time.Duration {
 // TraceSnapshot is the immutable, JSON-serializable form of a finished
 // trace, as retained by the flight recorder and served at /debug/obs/slow.
 type TraceSnapshot struct {
-	TraceID      string           `json:"trace_id"`
-	Name         string           `json:"name"`
-	StartUnixNS  int64            `json:"start_unix_ns"`
-	TotalSeconds float64          `json:"total_seconds"`
-	Spans        []SpanRecord     `json:"spans,omitempty"`
-	Counters     map[string]int64 `json:"counters,omitempty"`
+	TraceID      string            `json:"trace_id"`
+	Name         string            `json:"name"`
+	StartUnixNS  int64             `json:"start_unix_ns"`
+	TotalSeconds float64           `json:"total_seconds"`
+	Spans        []SpanRecord      `json:"spans,omitempty"`
+	Counters     map[string]int64  `json:"counters,omitempty"`
+	Labels       map[string]string `json:"labels,omitempty"`
 }
 
 // Snapshot freezes the trace. Unfinished traces report the time elapsed so
@@ -188,6 +216,12 @@ func (t *Trace) Snapshot() TraceSnapshot {
 		s.Counters = make(map[string]int64, len(t.counters))
 		for k, v := range t.counters {
 			s.Counters[k] = v
+		}
+	}
+	if len(t.labels) > 0 {
+		s.Labels = make(map[string]string, len(t.labels))
+		for k, v := range t.labels {
+			s.Labels[k] = v
 		}
 	}
 	return s

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,24 @@ type Options struct {
 	// MaxEmbeddings caps embedding enumeration per query (eval.Options).
 	// 0 keeps eval's default.
 	MaxEmbeddings int
+	// MaxInflight caps the requests evaluating concurrently; arrivals
+	// beyond it wait in a short queue, and beyond that are shed with 503
+	// before any parse or eval work. 0 means 2x GOMAXPROCS; negative
+	// disables admission control entirely.
+	MaxInflight int
+	// MaxQueue bounds the admission wait queue. 0 means 4x the effective
+	// MaxInflight; negative means no waiting room, so saturation sheds
+	// immediately.
+	MaxQueue int
+	// InjectDelay adds an artificial service delay to every admitted
+	// request, after admission and before parsing — a latency-injection
+	// hook for load and overload testing. The open-loop bench leg uses it
+	// to emulate production-scale service times on small harness datasets,
+	// so admission-queue dynamics (slot holding, queue waits, shedding)
+	// are exercised even where the real evaluation is microseconds. 0
+	// (the production value) disables it. Shed requests never pay the
+	// delay: rejection stays fast.
+	InjectDelay time.Duration
 	// SlowTraces is the flight recorder's capacity: how many of the
 	// slowest request traces /debug/obs/slow retains. 0 means
 	// obs.DefaultFlightRecorderSize.
@@ -53,24 +72,30 @@ type Options struct {
 // Server answers selectivity estimates over HTTP. Construct with New, add
 // synopses with AddSketch, and mount Handler on an http.Server.
 type Server struct {
-	reg      *obs.Registry
-	rec      *obs.FlightRecorder
-	deadline time.Duration
-	maxEmb   int
+	reg         *obs.Registry
+	rec         *obs.FlightRecorder
+	deadline    time.Duration
+	maxEmb      int
+	injectDelay time.Duration
 
 	// catalog is an immutable map[string]*sketch.Sketch swapped wholesale
 	// on update, so lookups are a single atomic load.
 	catalog atomic.Pointer[map[string]*sketch.Sketch]
 	mu      sync.Mutex // serializes catalog writers
 
-	mRequests *obs.Counter
-	mErrors   *obs.Counter
-	mDeadline *obs.Counter
-	mNotFound *obs.Counter
-	mRetained *obs.Counter
-	gInflight *obs.Gauge
-	gSketches *obs.Gauge
-	wLatency  *obs.WindowedHistogram
+	gate     *admissionGate // nil: admission control disabled
+	draining atomic.Bool
+
+	mRequests  *obs.Counter
+	mErrors    *obs.Counter
+	mDeadline  *obs.Counter
+	mNotFound  *obs.Counter
+	mRetained  *obs.Counter
+	mDrainDone *obs.Counter
+	mDrainShed *obs.Counter
+	gInflight  *obs.Gauge
+	gSketches  *obs.Gauge
+	wLatency   *obs.WindowedHistogram
 }
 
 // New builds a Server.
@@ -81,19 +106,24 @@ func New(opts Options) *Server {
 		deadline = DefaultDeadline
 	}
 	s := &Server{
-		reg:      reg,
-		rec:      obs.NewFlightRecorder(opts.SlowTraces),
-		deadline: deadline,
-		maxEmb:   opts.MaxEmbeddings,
+		reg:         reg,
+		rec:         obs.NewFlightRecorder(opts.SlowTraces),
+		deadline:    deadline,
+		maxEmb:      opts.MaxEmbeddings,
+		injectDelay: opts.InjectDelay,
 
-		mRequests: reg.Counter("serve.http.requests"),
-		mErrors:   reg.Counter("serve.http.errors"),
-		mDeadline: reg.Counter("serve.http.deadline_exceeded"),
-		mNotFound: reg.Counter("serve.http.not_found"),
-		mRetained: reg.Counter("trace.slow.retained"),
-		gInflight: reg.Gauge("serve.http.inflight"),
-		gSketches: reg.Gauge("serve.catalog.sketches"),
-		wLatency:  reg.Windowed("serve.request.latency_seconds"),
+		gate: newAdmissionGate(reg, opts.MaxInflight, opts.MaxQueue),
+
+		mRequests:  reg.Counter("serve.http.requests"),
+		mErrors:    reg.Counter("serve.http.errors"),
+		mDeadline:  reg.Counter("serve.http.deadline_exceeded"),
+		mNotFound:  reg.Counter("serve.http.not_found"),
+		mRetained:  reg.Counter("trace.slow.retained"),
+		mDrainDone: reg.Counter("serve.drain.completed"),
+		mDrainShed: reg.Counter("serve.drain.shed"),
+		gInflight:  reg.Gauge("serve.http.inflight"),
+		gSketches:  reg.Gauge("serve.catalog.sketches"),
+		wLatency:   reg.Windowed("serve.request.latency_seconds"),
 	}
 	empty := map[string]*sketch.Sketch{}
 	s.catalog.Store(&empty)
@@ -121,6 +151,32 @@ func (s *Server) AddSketch(name string, sk *sketch.Sketch) {
 	next[name] = sk
 	s.catalog.Store(&next)
 	s.gSketches.Set(int64(len(next)))
+}
+
+// SetCatalog atomically replaces the whole catalog. In-flight requests keep
+// the catalog they already resolved against; only requests that look up a
+// dataset after the swap see the new set.
+func (s *Server) SetCatalog(cat map[string]*sketch.Sketch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := make(map[string]*sketch.Sketch, len(cat))
+	for k, v := range cat {
+		next[k] = v
+	}
+	s.catalog.Store(&next)
+	s.gSketches.Set(int64(len(next)))
+}
+
+// StartDrain puts the server into draining mode: new requests are shed with
+// 503 code "draining" while requests already admitted run to completion.
+// Call before http.Server.Shutdown so the connection drain and the work
+// drain agree.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// DrainStats reports how the drain went: requests that completed normally
+// after the drain started vs. requests shed because they arrived during it.
+func (s *Server) DrainStats() (completed, shed int64) {
+	return s.mDrainDone.Value(), s.mDrainShed.Value()
 }
 
 // Datasets returns the published dataset names, sorted.
@@ -175,17 +231,41 @@ type EstimateResponse struct {
 	Seconds     float64 `json:"seconds"`
 }
 
-// errorResponse is the JSON body of a failed call.
+// errorResponse is the JSON body of a failed call. Code is a stable
+// machine-readable discriminator (missing_query, parse_error,
+// unknown_dataset, deadline_exceeded, shed_queue_full, shed_deadline,
+// draining); Error is the human-readable detail. 503 bodies additionally
+// carry RetryAfterSeconds, mirroring the Retry-After header, so clients
+// behind header-stripping proxies still see the backoff hint.
 type errorResponse struct {
-	Error   string `json:"error"`
-	TraceID string `json:"trace_id,omitempty"`
+	Error             string `json:"error"`
+	Code              string `json:"code,omitempty"`
+	TraceID           string `json:"trace_id,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// retryAfterSeconds is the backoff hint on every 503: one deadline's worth
+// of waiting (at least a second) gives the queue time to drain.
+func (s *Server) retryAfterSeconds() int {
+	if sec := int(s.deadline / time.Second); sec > 1 {
+		return sec
+	}
+	return 1
 }
 
 // handleEstimate serves GET /estimate?q=<twig query>[&dataset=<name>]: it
-// parses the query, evaluates it approximately over the named synopsis under
-// the request deadline, and reports the selectivity estimate. The request
-// runs under an obs.Trace whose parse/plan/memo/emit phase breakdown lands
-// in the flight recorder when the request ranks among the slowest.
+// admits the request through the admission gate, parses the query, evaluates
+// it approximately over the named synopsis under the request deadline, and
+// reports the selectivity estimate. The request runs under an obs.Trace
+// whose admission/parse/plan/memo/emit phase breakdown lands in the flight
+// recorder when the request ranks among the slowest.
+//
+// Overload is handled before work is done: a draining server, a full
+// admission queue, or a queue wait that exhausts the deadline budget all
+// produce an immediate 503 with a Retry-After hint, without touching the
+// parser or the synopsis. The latency window therefore measures answered
+// requests only — sheds are visible in the serve.admission.* counters and
+// the queue-wait window instead.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.mRequests.Inc()
 	s.gInflight.Add(1)
@@ -202,27 +282,47 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	qsrc := r.URL.Query().Get("q")
 	if qsrc == "" {
-		s.fail(w, http.StatusBadRequest, "", "missing q parameter")
+		s.fail(w, http.StatusBadRequest, "missing_query", "", "missing q parameter")
 		return
 	}
 	tr := obs.NewTrace(qsrc)
 	ctx = obs.ContextWithTrace(ctx, tr)
 
+	if s.draining.Load() {
+		s.mDrainShed.Inc()
+		s.shed(w, tr, "draining", "server is draining")
+		return
+	}
+	if s.gate != nil {
+		release, reason := s.gate.acquire(ctx, tr)
+		if release == nil {
+			s.shed(w, tr, reason, "server overloaded: "+reason)
+			return
+		}
+		defer release()
+	}
+	if s.injectDelay > 0 {
+		ds := tr.StartSpan("serve.inject_delay")
+		time.Sleep(s.injectDelay)
+		ds.End()
+	}
+
 	ps := tr.StartSpan("serve.parse")
 	q, err := query.Parse(qsrc)
 	ps.End()
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, tr.IDString(), fmt.Sprintf("parse: %v", err))
+		s.fail(w, http.StatusBadRequest, "parse_error", tr.IDString(), fmt.Sprintf("parse: %v", err))
 		return
 	}
 
 	sk, dsName, ok := s.lookup(r.URL.Query().Get("dataset"))
 	if !ok {
 		s.mNotFound.Inc()
-		s.fail(w, http.StatusNotFound, tr.IDString(),
+		s.fail(w, http.StatusNotFound, "unknown_dataset", tr.IDString(),
 			fmt.Sprintf("unknown dataset %q (have %v)", r.URL.Query().Get("dataset"), s.Datasets()))
 		return
 	}
+	tr.SetLabel("dataset", dsName)
 
 	res := eval.ApproxContext(ctx, sk, q, eval.Options{
 		MaxEmbeddings: s.maxEmb,
@@ -243,7 +343,6 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	total := tr.Finish()
 	resp.Seconds = total.Seconds()
-	s.wLatency.Observe(total.Seconds())
 	if s.rec.Record(tr) {
 		s.mRetained.Inc()
 	}
@@ -254,13 +353,40 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// work is already done.
 	if ctx.Err() != nil {
 		s.mDeadline.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-			Error:   fmt.Sprintf("deadline exceeded after %s", total.Round(time.Microsecond)),
-			TraceID: tr.IDString(),
+			Error:             fmt.Sprintf("deadline exceeded after %s", total.Round(time.Microsecond)),
+			Code:              "deadline_exceeded",
+			TraceID:           tr.IDString(),
+			RetryAfterSeconds: s.retryAfterSeconds(),
 		})
 		return
 	}
+	s.wLatency.Observe(total.Seconds())
+	if s.draining.Load() {
+		s.mDrainDone.Inc()
+	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// shed answers a request the server refuses to work on: 503 with a
+// machine-readable code, a Retry-After hint, and the trace ID. The trace is
+// finished (with a "shed" label) and offered to the flight recorder so an
+// operator inspecting /debug/obs/slow during an overload sees what was
+// turned away, not just what ran.
+func (s *Server) shed(w http.ResponseWriter, tr *obs.Trace, code, msg string) {
+	tr.SetLabel("shed", code)
+	tr.Finish()
+	if s.rec.Record(tr) {
+		s.mRetained.Inc()
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error:             msg,
+		Code:              code,
+		TraceID:           tr.IDString(),
+		RetryAfterSeconds: s.retryAfterSeconds(),
+	})
 }
 
 // handleDatasets serves GET /datasets: the published dataset names.
@@ -268,9 +394,12 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.Datasets())
 }
 
-func (s *Server) fail(w http.ResponseWriter, status int, traceID, msg string) {
+// fail answers a client error (4xx). Sheds and deadline 503s do not go
+// through here: they are server-side refusals, not client mistakes, and
+// serve.http.errors counts only the latter.
+func (s *Server) fail(w http.ResponseWriter, status int, code, traceID, msg string) {
 	s.mErrors.Inc()
-	s.writeJSON(w, status, errorResponse{Error: msg, TraceID: traceID})
+	s.writeJSON(w, status, errorResponse{Error: msg, Code: code, TraceID: traceID})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
@@ -32,6 +33,7 @@ func main() {
 		budgetKB = flag.Int("budget", 50, "budget in KB when building the synopsis on the fly")
 		qsrc     = flag.String("query", "", "twig query, e.g. //a[//b]{//p{//k?},//n?} (required)")
 		preview  = flag.Int("preview", 0, "print up to N nodes of the approximate answer")
+		topK     = flag.Int("k", 0, "stream at most k result-synopsis nodes best-first and report the truncation bound (0: full batch answer, negative: unbounded streaming)")
 		exact    = flag.Bool("exact", true, "also evaluate exactly for comparison")
 		paper    = flag.Bool("paper", false, "evaluate with the paper's Figures 7/8 verbatim (disable refinements)")
 	)
@@ -68,13 +70,25 @@ func main() {
 	}
 
 	t0 := time.Now()
-	approx := eval.Approx(sk, q, eval.Options{PaperMode: *paper})
+	approx := eval.Approx(sk, q, eval.Options{PaperMode: *paper, Limit: *topK})
 	approxTime := time.Since(t0)
 	if approx.Empty {
 		fmt.Printf("approximate answer: EMPTY (%.3fms)\n", ms(approxTime))
 	} else {
 		fmt.Printf("approximate answer: %d result clusters, est. selectivity %.1f (%.3fms)\n",
 			len(approx.Nodes), approx.Selectivity(), ms(approxTime))
+	}
+	if tk := approx.TopK; tk != nil {
+		bound := fmt.Sprintf("<= %.1f", tk.ErrorBound)
+		if math.IsInf(tk.ErrorBound, 1) {
+			bound = "unbounded (recursive schema)"
+		}
+		state := "truncated"
+		if tk.Exhausted {
+			state = "exhausted (complete answer)"
+		}
+		fmt.Printf("top-k stream:       expanded %d of %d discovered, emitted mass %.1f, remainder %s, %s\n",
+			tk.Expanded, tk.Discovered, tk.EmittedMass, bound, state)
 	}
 
 	if *exact {

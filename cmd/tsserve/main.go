@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"treesketch/internal/eval"
 	"treesketch/internal/obs"
 	"treesketch/internal/serve"
 	"treesketch/internal/sketch"
@@ -53,6 +54,7 @@ func main() {
 		budgetKB = flag.Int("budget", 50, "synopsis budget in KB when building from -doc")
 		deadline = flag.Duration("deadline", serve.DefaultDeadline, "per-request processing deadline (<=0 disables)")
 		maxEmb   = flag.Int("max-embeddings", 0, "cap on embedding enumeration per query (0: eval default)")
+		maxResB  = flag.Int("max-result-bytes", 0, "per-request answer budget in bytes, served via streaming top-k emission with a truncation bound (0: unbudgeted; ?k= on a request overrides)")
 		slowK    = flag.Int("slow", obs.DefaultFlightRecorderSize, "how many slowest request traces /debug/obs/slow retains")
 
 		maxInflight = flag.Int("max-inflight", 0, "admission gate: max concurrently evaluating requests (0: 2x GOMAXPROCS, negative: disabled)")
@@ -69,11 +71,12 @@ func main() {
 	}
 
 	srv := serve.New(serve.Options{
-		Deadline:      *deadline,
-		MaxEmbeddings: *maxEmb,
-		MaxInflight:   *maxInflight,
-		MaxQueue:      *maxQueue,
-		SlowTraces:    *slowK,
+		Deadline:       *deadline,
+		MaxEmbeddings:  *maxEmb,
+		MaxResultBytes: *maxResB,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		SlowTraces:     *slowK,
 	})
 	if *rtInterval > 0 {
 		rc := obs.StartRuntimeCollector(srv.Registry(), *rtInterval)
@@ -96,7 +99,10 @@ func main() {
 		st := stable.Build(doc)
 		sk, stats := tsbuild.Build(st, tsbuild.Options{BudgetBytes: *budgetKB << 10})
 		srv.AddSketch(name, sk)
-		fmt.Printf("tsserve: built %s from %s: %d elems -> %.1f KB in %.2fs\n",
+		// Doc-built datasets keep their index so /estimate?mode=exact can
+		// answer true counts; synopsis-only datasets have no document.
+		srv.AddIndex(name, eval.NewIndex(doc))
+		fmt.Printf("tsserve: built %s from %s: %d elems -> %.1f KB in %.2fs (exact mode on)\n",
 			name, path, doc.Size(), float64(stats.FinalBytes)/1024, stats.Elapsed.Seconds())
 	}
 

@@ -15,6 +15,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"strings"
 	"time"
@@ -58,6 +59,11 @@ type Config struct {
 	// Quick records whether this was a reduced-scale run; compare warns
 	// when gating a quick run against a full baseline.
 	Quick bool `json:"quick"`
+	// TopKLimit is the node budget of the streaming top-k evaluation leg
+	// (eval.Options.Limit): every eval cell gets a companion "topk/" cell
+	// measuring best-first emission latency under this budget. 0 selects
+	// the default 16; negative disables the leg.
+	TopKLimit int `json:"topk_limit,omitempty"`
 	// ReferenceEval runs the approximate-evaluation legs through the
 	// pre-fast-path reference enumeration (eval.Options.Reference). Useful
 	// for measuring what the plan-driven fast path buys: accuracy metrics
@@ -136,6 +142,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Repeats <= 0 {
 		c.Repeats = 3
+	}
+	if c.TopKLimit == 0 {
+		c.TopKLimit = 16
 	}
 	if c.ServeSeconds == 0 {
 		c.ServeSeconds = 1
@@ -370,6 +379,49 @@ func benchDataset(res *Result, r *exp.Runner, reg *obs.Registry, cfg Config, ds 
 			ds, budgetKB, tsSec, stats.Merges,
 			time.Duration(em["approx_p50_seconds"]*float64(time.Second)).Round(time.Microsecond),
 			em["sel_mre_pct"], em["esd_avg"])
+
+		// Top-k leg: the same workload through the streaming best-first
+		// emitter under a fixed node budget. The cell reuses the approx_*
+		// metric names so the compare policies (tail ratio, percentile and
+		// throughput bands) gate it like any other eval cell; the eval.topk.*
+		// counter deltas and the mean truncation bound ride along as context.
+		if cfg.TopKLimit > 0 {
+			hTopK := reg.Histogram(fmt.Sprintf("bench.%s.%02dkb.topk_latency_seconds", metricname.Clean(ds), budgetKB))
+			topkOpts := eval.Options{Limit: cfg.TopKLimit, Reference: cfg.ReferenceEval}
+			topkCounters0 := counterTotals(reg, "eval.topk.")
+			var boundSum float64
+			finite := 0
+			// Warm-up pass doubles as the bound survey (seed-deterministic).
+			for _, item := range w {
+				tr := eval.Approx(sk, item.Q, topkOpts)
+				if tr.TopK != nil && !math.IsInf(tr.TopK.ErrorBound, 1) {
+					boundSum += tr.TopK.ErrorBound
+					finite++
+				}
+			}
+			topkTotal := measureLatencies(hTopK, cfg.Repeats, len(w), func(i int) {
+				eval.Approx(sk, w[i].Q, topkOpts)
+			})
+			tm := Metrics{
+				"approx_p50_seconds":     hTopK.Quantile(0.50),
+				"approx_p95_seconds":     hTopK.Quantile(0.95),
+				"approx_p99_seconds":     hTopK.Quantile(0.99),
+				"approx_queries_per_sec": rate(float64(len(w)), topkTotal),
+				"k_limit":                float64(cfg.TopKLimit),
+			}
+			tm["approx_tail_p99_over_p50"] = ratio(tm["approx_p99_seconds"], tm["approx_p50_seconds"])
+			for name, v := range counterDeltas(reg, "eval.topk.", topkCounters0) {
+				tm["topk_"+name] = v
+			}
+			if finite > 0 {
+				tm["error_bound_avg"] = boundSum / float64(finite)
+			}
+			res.Benchmarks["topk/"+key] = tm
+			progress("%-10s %2dKB: topk(k=%d) p50 %s, tail %.1fx, avg bound %.1f",
+				ds, budgetKB, cfg.TopKLimit,
+				time.Duration(tm["approx_p50_seconds"]*float64(time.Second)).Round(time.Microsecond),
+				tm["approx_tail_p99_over_p50"], tm["error_bound_avg"])
+		}
 	}
 	return nil
 }

@@ -16,6 +16,15 @@ type Options struct {
 	// per path expression; beyond it the result is truncated (recorded in
 	// Result.Truncated). Default 10000.
 	MaxEmbeddings int
+	// Limit selects streaming top-k result emission (see topk.go). 0 keeps
+	// the batch evaluation path. A positive value expands at most Limit
+	// result nodes best-first (highest estimated answer-mass contribution
+	// first) and reports the truncation in Result.TopK, including an upper
+	// bound on the answer mass left unexpanded. A negative value streams
+	// without a node budget: the expansion runs to exhaustion (or to the
+	// context deadline) and the final Result is bit-identical to the batch
+	// path, with Result.TopK attached.
+	Limit int
 	// DisablePrune skips the pruning pass that removes result nodes whose
 	// required child variables found no bindings. Pruning is what makes
 	// EvalQuery exact on count-stable synopses; it is on by default.
@@ -67,11 +76,29 @@ func Approx(sk *sketch.Sketch, q *query.Query, opts Options) *Result {
 // clocks, leaving the hot enumeration loops untouched.
 func ApproxContext(ctx context.Context, sk *sketch.Sketch, q *query.Query, opts Options) *Result {
 	opts = opts.withDefaults()
+	if opts.Limit != 0 {
+		return topKWith(ctx, sk, q, opts, !opts.PaperMode, !opts.PaperMode)
+	}
 	return approxWith(ctx, sk, q, opts, !opts.PaperMode, !opts.PaperMode)
 }
 
 // approxWith exposes the two refinements independently for tests.
 func approxWith(ctx context.Context, sk *sketch.Sketch, q *query.Query, opts Options, conditioning, twoMoment bool) *Result {
+	a := newApproxer(ctx, sk, q, opts, conditioning, twoMoment)
+	span := a.reg.StartSpan("eval.approx.query")
+	a.reg.Counter("eval.approx.queries").Inc()
+	res := a.run()
+	// Keep the full latency distribution alongside the phase timer so
+	// snapshots can report p50/p95/p99 (see Histogram.Quantile).
+	a.reg.Histogram("eval.approx.latency_seconds").Observe(span.End().Seconds())
+	a.flush(res)
+	return res
+}
+
+// newApproxer builds the shared evaluation state for both the batch path
+// (approxWith) and the streaming top-k path (topKWith), recording the plan
+// phase as a span on the request trace.
+func newApproxer(ctx context.Context, sk *sketch.Sketch, q *query.Query, opts Options, conditioning, twoMoment bool) *approxer {
 	reg := obs.Or(opts.Metrics)
 	tr := obs.TraceFrom(ctx)
 	ps := tr.StartSpan("eval.plan")
@@ -107,12 +134,13 @@ func approxWith(ctx context.Context, sk *sketch.Sketch, q *query.Query, opts Opt
 		}
 	}
 	ps.End()
-	span := reg.StartSpan("eval.approx.query")
-	reg.Counter("eval.approx.queries").Inc()
-	res := a.run()
-	// Keep the full latency distribution alongside the phase timer so
-	// snapshots can report p50/p95/p99 (see Histogram.Quantile).
-	reg.Histogram("eval.approx.latency_seconds").Observe(span.End().Seconds())
+	return a
+}
+
+// flush drains the locally accumulated counters into the registry and the
+// request trace once the result is final.
+func (a *approxer) flush(res *Result) {
+	reg, tr := a.reg, a.tr
 	if a.prunes > 0 {
 		reg.Counter("eval.approx.embed_prunes").Add(a.prunes)
 	}
@@ -140,7 +168,6 @@ func approxWith(ctx context.Context, sk *sketch.Sketch, q *query.Query, opts Opt
 	for _, ids := range a.bind {
 		a.hFanout.Observe(float64(len(ids)))
 	}
-	return res
 }
 
 type approxer struct {
@@ -165,6 +192,24 @@ type approxer struct {
 	labels     map[string]bool   // fast-path synopsis label universe
 	canTabs    map[*query.Path][]int8
 	truncated  bool
+
+	// Enumeration pool for the finite-budget streaming path: when poolOn,
+	// every enumeration draws its embedding budget and work allowance from
+	// this shared pool instead of taking a fresh per-call MaxEmbeddings
+	// allowance, so a node budget implies a bound on total enumeration work.
+	// A call that completes without draining the pool produces exactly the
+	// per-call result (enumeration is deterministic and budgets only gate
+	// continuation), which is what keeps undrained streaming runs
+	// bit-identical to the batch path.
+	poolOn     bool
+	poolBudget int
+	poolWork   int
+
+	// pruneExempt marks result nodes (by pre-prune ID) the pruning pass must
+	// not drop for missing required children: the top-k path sets it for
+	// unexpanded frontier nodes, whose required subtrees were never searched.
+	// Nil on the batch path.
+	pruneExempt []bool
 
 	// Locally accumulated fast-path counters, flushed once per query.
 	prunes  int64
@@ -377,38 +422,65 @@ func (a *approxer) addResultNode(src, qi int, label string) int {
 // result node and one query edge.
 func (a *approxer) processEdge(uQ int, edge *query.Edge) {
 	rn := a.res.Nodes[uQ]
+	a.applyEdgeTerms(rn, edge, a.edgeTerms(rn.Src, edge))
+}
+
+// applyEdgeTerms folds one edge's per-terminal sums into the result graph:
+// every terminal becomes (or joins) a result node of the child variable, and
+// the descendant counts accumulate on the parent's outgoing edges.
+func (a *approxer) applyEdgeTerms(rn *RNode, edge *query.Edge, terms []termK) {
+	ci := a.qidx[edge.Child]
+	for _, tk := range terms {
+		vQ := a.addResultNode(tk.term, ci, a.sk.Nodes[tk.term].Label)
+		rn.addK(vQ, tk.k)
+	}
+}
+
+// termK is one terminal synopsis node of an edge enumeration with its
+// accumulated descendant count.
+type termK struct {
+	term int
+	k    float64
+}
+
+// edgeTerms enumerates edge.Path from synopsis node src and aggregates the
+// per-embedding counts per terminal synopsis node, in sorted terminal order
+// so result-node IDs (and everything downstream: expansion order, float
+// accumulation) are deterministic. The output is a pure function of
+// (src, edge) for a fixed synopsis and options — per-call budgets and dedup
+// state reset per enumeration, and the selectivity memo caches values only —
+// which is what lets the top-k path replay recorded edge outputs in batch
+// order and reproduce the batch result bit-identically.
+func (a *approxer) edgeTerms(src int, edge *query.Edge) []termK {
 	steps := edge.Path.MainSteps()
-	// Aggregate per terminal synopsis node; iterate terminals in sorted
-	// order so result-node IDs (and everything downstream: expansion
-	// order, float accumulation) are deterministic.
 	perTerm := make(map[int]float64)
 	if a.fastStream(edge.Path) {
-		a.enumFast(rn.Src, edge.Path, false, nil, func(term int, prod float64) {
+		a.enumFast(src, edge.Path, false, nil, func(term int, prod float64) {
 			if prod > 0 {
 				perTerm[term] += prod
 			}
 		})
 	} else {
-		for _, e := range a.embeddings(rn.Src, edge.Path, false) {
-			k := a.evalEmbed(steps, rn.Src, e)
+		for _, e := range a.embeddings(src, edge.Path, false) {
+			k := a.evalEmbed(steps, src, e)
 			if k > 0 {
 				perTerm[e.nodes[len(e.nodes)-1]] += k
 			}
 		}
 	}
 	if len(perTerm) == 0 {
-		return
+		return nil
 	}
 	terms := make([]int, 0, len(perTerm))
 	for v := range perTerm {
 		terms = append(terms, v)
 	}
 	sort.Ints(terms)
-	ci := a.qidx[edge.Child]
+	out := make([]termK, 0, len(terms))
 	for _, v := range terms {
-		vQ := a.addResultNode(v, ci, a.sk.Nodes[v].Label)
-		rn.addK(vQ, perTerm[v])
+		out = append(out, termK{term: v, k: perTerm[v]})
 	}
+	return out
 }
 
 // fastStream reports whether path p can be enumerated in streaming mode:
@@ -483,6 +555,10 @@ func (a *approxer) enumFast(from int, p *query.Path, needExist bool, out *[]embe
 	}
 	budget := a.opts.MaxEmbeddings
 	work := 64 * a.opts.MaxEmbeddings
+	if a.poolOn {
+		budget, work = a.poolBudget, a.poolWork
+	}
+	startWork := work
 	emitted := 0
 	var nodes []int
 	var stepAt []int
@@ -603,8 +679,11 @@ func (a *approxer) enumFast(from int, p *query.Path, needExist bool, out *[]embe
 		}
 	}
 	rec(from, 0, 1)
+	if a.poolOn {
+		a.poolBudget, a.poolWork = budget, work
+	}
 	a.mEmbeddings.Add(int64(emitted))
-	a.mEmbedWork.Add(int64(64*a.opts.MaxEmbeddings - work))
+	a.mEmbedWork.Add(int64(startWork - work))
 }
 
 // labelSetCache holds the label universe per synopsis. Sketches are
@@ -649,6 +728,10 @@ func (a *approxer) embeddingsRef(from int, steps []query.Step) []embedding {
 	byPath := make(map[string]int) // node-path key -> index in out
 	budget := a.opts.MaxEmbeddings
 	work := 64 * a.opts.MaxEmbeddings
+	if a.poolOn {
+		budget, work = a.poolBudget, a.poolWork
+	}
+	startWork := work
 	var nodes []int
 	var stepAt []int
 
@@ -722,8 +805,11 @@ func (a *approxer) embeddingsRef(from int, steps []query.Step) []embedding {
 		}
 	}
 	rec(from, 0)
+	if a.poolOn {
+		a.poolBudget, a.poolWork = budget, work
+	}
 	a.mEmbeddings.Add(int64(len(out)))
-	a.mEmbedWork.Add(int64(64*a.opts.MaxEmbeddings - work))
+	a.mEmbedWork.Add(int64(startWork - work))
 	return out
 }
 
@@ -991,6 +1077,9 @@ func (a *approxer) prune() bool {
 		}
 		for _, uQ := range a.bind[qi] {
 			if !keep[uQ] {
+				continue
+			}
+			if a.pruneExempt != nil && a.pruneExempt[uQ] {
 				continue
 			}
 			rn := a.res.Nodes[uQ]

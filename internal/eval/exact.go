@@ -24,7 +24,8 @@ type ExactResult struct {
 	// typed *TupleOverflowError.
 	Overflow bool
 
-	ev *evaluator
+	ev    *evaluator
+	limit int // default TopKNestingTree budget, from ExactOptions.Limit
 }
 
 // TupleOverflowError reports that a query's exact binding-tuple count

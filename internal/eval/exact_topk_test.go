@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"treesketch/internal/query"
+	"treesketch/internal/xmltree"
+)
+
+// TestExactTopKNestingTree pins the exact-side budget contract: best-first
+// materialization emits exactly min(k, |NT|) nodes, the frontier accounting
+// is exact (EmittedMass + ErrorBound == |NT| for every k), and the
+// unbounded run reproduces the full nesting tree's size.
+func TestExactTopKNestingTree(t *testing.T) {
+	doc := xmltree.MustCompact("r(a(b(b(c),d),b(d),c),a(b(c)),a,e(d,d,d))")
+	ix := NewIndex(doc)
+	for _, src := range []string{"//a{//b?,//d?}", "//a{//b{//c?}}", "//b//b", "//a[//c]{//d?}"} {
+		q, err := query.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Exact(ix, q)
+		full, err := res.NestingTree(0)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		size := full.Size()
+		if res.Empty && size != 0 {
+			t.Fatalf("%s: empty result with %d-node tree", src, size)
+		}
+
+		ut, uinfo, err := res.TopKNestingTree(-1)
+		if err != nil {
+			t.Fatalf("%s: unbounded: %v", src, err)
+		}
+		if !uinfo.Exhausted || uinfo.ErrorBound != 0 {
+			t.Fatalf("%s: unbounded run Exhausted=%v ErrorBound=%v", src, uinfo.Exhausted, uinfo.ErrorBound)
+		}
+		if ut.Size() != size {
+			t.Fatalf("%s: unbounded top-k tree has %d nodes, NestingTree %d", src, ut.Size(), size)
+		}
+
+		for k := 1; k <= size+2; k++ {
+			pt, info, err := res.TopKNestingTree(k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", src, k, err)
+			}
+			want := size
+			if k < size {
+				want = k
+			}
+			if pt.Size() != want || info.Expanded != want {
+				t.Fatalf("%s k=%d: emitted %d nodes (info %d), want %d", src, k, pt.Size(), info.Expanded, want)
+			}
+			if got := info.EmittedMass + info.ErrorBound; got != float64(size) {
+				t.Fatalf("%s k=%d: emitted %v + bound %v != exact size %d",
+					src, k, info.EmittedMass, info.ErrorBound, size)
+			}
+			if info.Exhausted != (want == size) {
+				t.Fatalf("%s k=%d: Exhausted=%v with %d of %d emitted", src, k, info.Exhausted, want, size)
+			}
+		}
+	}
+}
+
+// TestExactOptsThreadsLimit checks the ExactOptions.Limit default reaches
+// TopKNestingTree when the call site passes zero.
+func TestExactOptsThreadsLimit(t *testing.T) {
+	doc := xmltree.MustCompact("r(a(b,b),a(b),a)")
+	ix := NewIndex(doc)
+	q, err := query.Parse("//a{//b?}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ExactOpts(context.Background(), ix, q, ExactOptions{Limit: 2})
+	tr, info, err := res.TopKNestingTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 2 || info.Expanded != 2 || info.K != 2 {
+		t.Fatalf("threaded limit: size=%d expanded=%d k=%d, want 2/2/2", tr.Size(), info.Expanded, info.K)
+	}
+	if info.Exhausted {
+		t.Fatal("budget 2 on a larger answer reported Exhausted")
+	}
+}

@@ -1,7 +1,9 @@
 package eval
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 
@@ -55,6 +57,58 @@ type Result struct {
 	// VarOptional marks, per query-variable index, whether the variable is
 	// bound through a dashed (optional) edge; used by Selectivity.
 	VarOptional []bool
+	// TopK records the streaming expansion that produced this result when
+	// Options.Limit was set; nil on the batch path. It is diagnostic only:
+	// Fingerprint ignores it, so a fully exhausted streaming run hashes
+	// identically to its batch counterpart.
+	TopK *TopKInfo
+}
+
+// Fingerprint hashes the result synopsis' canonical bytes (FNV-1a, the same
+// construction as sketch.Fingerprint): structure flags, node identities,
+// labels, exact count bits, and edge k bits. Two results compare equal iff
+// every float matches bit-for-bit, which is the determinism oracle the
+// streaming-vs-batch differential tests rely on. TopK metadata is excluded.
+func (r *Result) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	wBool := func(v bool) {
+		if v {
+			wInt(1)
+		} else {
+			wInt(0)
+		}
+	}
+	wBool(r.Empty)
+	wBool(r.Truncated)
+	wInt(r.Root)
+	wInt(len(r.VarOptional))
+	for _, o := range r.VarOptional {
+		wBool(o)
+	}
+	wInt(len(r.Nodes))
+	for _, rn := range r.Nodes {
+		wInt(rn.ID)
+		wInt(rn.VarID)
+		wInt(rn.Src)
+		wInt(len(rn.Label))
+		h.Write([]byte(rn.Label))
+		wFloat(rn.Count)
+		wInt(len(rn.Edges))
+		for _, e := range rn.Edges {
+			wInt(e.Child)
+			wFloat(e.K)
+		}
+	}
+	return h.Sum64()
 }
 
 // Selectivity estimates the number of binding tuples of the query

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -53,8 +54,15 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 		fam := promName(n)
 		writeHistogramFamily(ew, fam, ws.HistogramSnapshot)
 		ew.printf("# TYPE %s_window_seconds gauge\n%s_window_seconds %s\n", fam, fam, promFloat(ws.WindowSeconds))
-		ew.printf("# TYPE %s_p50 gauge\n%s_p50 %s\n", fam, fam, promFloat(ws.Quantile(0.50)))
-		ew.printf("# TYPE %s_p99 gauge\n%s_p99 %s\n", fam, fam, promFloat(ws.Quantile(0.99)))
+		// An empty window has no quantiles: Quantile over zero observations
+		// returns NaN, and "NaN" is not a sample value strict OpenMetrics
+		// parsers accept. Omit the _p50/_p99 families entirely on a cold
+		// scrape (absent-metric is the Prometheus idiom for "no data yet")
+		// and drop any non-finite sample defensively.
+		if ws.Count > 0 {
+			writeFiniteGauge(ew, fam+"_p50", ws.Quantile(0.50))
+			writeFiniteGauge(ew, fam+"_p99", ws.Quantile(0.99))
+		}
 		rate := 0.0
 		if ws.WindowSeconds > 0 {
 			rate = float64(ws.Count) / ws.WindowSeconds
@@ -76,6 +84,16 @@ func writeHistogramFamily(ew *errWriter, fam string, h HistogramSnapshot) {
 	}
 	ew.printf("%s_bucket{le=\"+Inf\"} %d\n", fam, h.Count)
 	ew.printf("%s_sum %s\n%s_count %d\n", fam, promFloat(h.Sum), fam, h.Count)
+}
+
+// writeFiniteGauge emits a single-sample gauge family, skipping it (TYPE
+// line included) when the value is NaN or infinite — %g would render them
+// as "NaN"/"+Inf", which strict scrapers reject.
+func writeFiniteGauge(ew *errWriter, fam string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	ew.printf("# TYPE %s gauge\n%s %s\n", fam, fam, promFloat(v))
 }
 
 // promName flattens a dotted registry name onto the Prometheus name grammar.

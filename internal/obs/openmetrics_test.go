@@ -111,6 +111,66 @@ func TestOpenMetricsWindowQuantiles(t *testing.T) {
 	}
 }
 
+// TestOpenMetricsColdWindow pins the cold-start scrape contract: a windowed
+// histogram with zero observations must not leak NaN quantiles (strict
+// OpenMetrics parsers reject "NaN" as a sample value). The _p50/_p99
+// families are omitted entirely — absent metric, the Prometheus idiom for
+// "no data yet" — while the structural families (window span, rate, the
+// histogram itself) still expose.
+func TestOpenMetricsColdWindow(t *testing.T) {
+	r := NewRegistry()
+	r.Windowed("serve.request.latency_seconds") // registered, never observed
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Every sample value must be a finite float; the "+Inf" inside the
+	// histogram's le-label is the one legitimate appearance of Inf.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Errorf("unparseable sample value in %q: %v", line, err)
+			continue
+		}
+		if v != v || v > 1e300 || v < -1e300 {
+			t.Errorf("non-finite sample leaked: %q", line)
+		}
+	}
+	for _, absent := range []string{
+		"serve_request_latency_seconds_p50",
+		"serve_request_latency_seconds_p99",
+	} {
+		if strings.Contains(out, absent) {
+			t.Errorf("empty window must omit the %s family:\n%s", absent, out)
+		}
+	}
+	for _, want := range []string{
+		"serve_request_latency_seconds_window_seconds 60\n",
+		"serve_request_latency_seconds_per_sec 0\n",
+		"serve_request_latency_seconds_count 0\n",
+		"# EOF\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cold scrape missing %q:\n%s", want, out)
+		}
+	}
+
+	// One observation flips the quantile families back on.
+	r.Windowed("serve.request.latency_seconds").Observe(0.010)
+	b.Reset()
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE serve_request_latency_seconds_p50 gauge\n") {
+		t.Errorf("warm window lost its p50 family:\n%s", b.String())
+	}
+}
+
 // sampleValue extracts one unlabeled sample from an exposition.
 func sampleValue(t *testing.T, exposition, name string) float64 {
 	t.Helper()

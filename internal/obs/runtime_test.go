@@ -46,6 +46,10 @@ func TestRuntimeCollectorSamples(t *testing.T) {
 func TestRuntimeCollectorOpenMetrics(t *testing.T) {
 	reg := NewRegistry()
 	c := StartRuntimeCollector(reg, time.Hour) // only the priming + Stop samples
+	// Force a GC cycle so the pause window has real observations; the sched
+	// window stays empty (the hour ticker never fires), which must suppress
+	// its quantile families rather than expose NaN.
+	runtime.GC()
 	c.Stop()
 	var b strings.Builder
 	if err := reg.WriteOpenMetrics(&b); err != nil {
@@ -57,11 +61,17 @@ func TestRuntimeCollectorOpenMetrics(t *testing.T) {
 		"runtime_heap_alloc_bytes ",
 		"runtime_gc_cycles_total ",
 		"runtime_gc_pause_seconds_p99 ",
-		"runtime_sched_latency_seconds_p99 ",
+		"runtime_sched_latency_seconds_window_seconds ",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)
 		}
+	}
+	if strings.Contains(body, "runtime_sched_latency_seconds_p99") {
+		t.Error("empty sched-latency window must omit its p99 family")
+	}
+	if strings.Contains(body, "NaN") {
+		t.Errorf("exposition leaks NaN:\n%s", body)
 	}
 }
 

@@ -109,3 +109,7 @@ func (g *admissionGate) acquire(ctx context.Context, tr *obs.Trace) (func(), str
 }
 
 func (g *admissionGate) release() { <-g.sem }
+
+// queueCap reports the gate's waiting-room capacity; zero means saturation
+// sheds immediately, which changes what a useful Retry-After hint is.
+func (g *admissionGate) queueCap() int { return cap(g.queue) }

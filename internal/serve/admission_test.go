@@ -383,3 +383,66 @@ func TestErrorCodes(t *testing.T) {
 		t.Errorf("dataset code = %q", got)
 	}
 }
+
+// TestRetryAfterNoWaitingRoom pins the backoff hint when the gate runs with
+// no queue (-max-queue negative): slots turn over in about one service
+// time, so a saturated-slot shed must advertise the minimum hint (1s), not
+// a stale full-deadline wait.
+func TestRetryAfterNoWaitingRoom(t *testing.T) {
+	s, q := newTestServer(t, Options{MaxInflight: 1, MaxQueue: -1, Deadline: 5 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.gate.sem <- struct{}{} // occupy the only eval slot; no queue exists
+	er, hdr := get503(t, ts, "/estimate?dataset=imdb&q="+urlQueryEscape(q))
+	if er.Code != "shed_queue_full" {
+		t.Fatalf("shed code = %q", er.Code)
+	}
+	if er.RetryAfterSeconds != 1 {
+		t.Errorf("no-waiting-room RetryAfterSeconds = %d, want 1 (one service time, not one deadline)", er.RetryAfterSeconds)
+	}
+	if got := hdr.Get("Retry-After"); got != "1" {
+		t.Errorf("no-waiting-room Retry-After header = %q, want \"1\"", got)
+	}
+}
+
+// TestRetryAfterRealQueue is the counterpart: with actual waiting room, a
+// queue-full shed keeps the deadline-derived hint — the queue needs roughly
+// that long to drain.
+func TestRetryAfterRealQueue(t *testing.T) {
+	s, q := newTestServer(t, Options{MaxInflight: 1, MaxQueue: 2, Deadline: 5 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.gate.sem <- struct{}{} // occupy the eval slot
+	s.gate.queue <- struct{}{}
+	s.gate.queue <- struct{}{} // fill the waiting room white-box
+	er, _ := get503(t, ts, "/estimate?dataset=imdb&q="+urlQueryEscape(q))
+	if er.Code != "shed_queue_full" {
+		t.Fatalf("shed code = %q", er.Code)
+	}
+	if er.RetryAfterSeconds != 5 {
+		t.Errorf("queue-full RetryAfterSeconds = %d, want 5 (the deadline)", er.RetryAfterSeconds)
+	}
+}
+
+// TestRetryAfterDraining pins the drain hint: a draining process never
+// takes the retry, so the client should fail over immediately (1s), not
+// wait out a deadline that has nothing to do with recovery.
+func TestRetryAfterDraining(t *testing.T) {
+	s, q := newTestServer(t, Options{Deadline: 5 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.StartDrain()
+	er, hdr := get503(t, ts, "/estimate?dataset=imdb&q="+urlQueryEscape(q))
+	if er.Code != "draining" {
+		t.Fatalf("shed code = %q", er.Code)
+	}
+	if er.RetryAfterSeconds != 1 {
+		t.Errorf("draining RetryAfterSeconds = %d, want 1 (fail over now)", er.RetryAfterSeconds)
+	}
+	if got := hdr.Get("Retry-After"); got != "1" {
+		t.Errorf("draining Retry-After header = %q, want \"1\"", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -42,6 +43,14 @@ type Options struct {
 	// MaxEmbeddings caps embedding enumeration per query (eval.Options).
 	// 0 keeps eval's default.
 	MaxEmbeddings int
+	// MaxResultBytes is the default per-request answer budget in bytes,
+	// converted to a result-synopsis node budget at about 64 bytes per node
+	// and served through the streaming top-k path (eval.Options.Limit). An
+	// explicit ?k= on the request overrides it. 0 means unbudgeted batch
+	// emission. This is the serving daemon's per-query memory cap: a query
+	// whose full answer would be arbitrarily large emits its
+	// highest-contribution nodes and a bound on what was cut.
+	MaxResultBytes int
 	// MaxInflight caps the requests evaluating concurrently; arrivals
 	// beyond it wait in a short queue, and beyond that are shed with 503
 	// before any parse or eval work. 0 means 2x GOMAXPROCS; negative
@@ -72,30 +81,37 @@ type Options struct {
 // Server answers selectivity estimates over HTTP. Construct with New, add
 // synopses with AddSketch, and mount Handler on an http.Server.
 type Server struct {
-	reg         *obs.Registry
-	rec         *obs.FlightRecorder
-	deadline    time.Duration
-	maxEmb      int
-	injectDelay time.Duration
+	reg            *obs.Registry
+	rec            *obs.FlightRecorder
+	deadline       time.Duration
+	maxEmb         int
+	maxResultBytes int
+	injectDelay    time.Duration
 
 	// catalog is an immutable map[string]*sketch.Sketch swapped wholesale
 	// on update, so lookups are a single atomic load.
 	catalog atomic.Pointer[map[string]*sketch.Sketch]
-	mu      sync.Mutex // serializes catalog writers
+	// ixCatalog maps dataset names to their document indexes for
+	// ?mode=exact; same immutable-swap discipline. Synopsis-only datasets
+	// have no entry.
+	ixCatalog atomic.Pointer[map[string]*eval.Index]
+	mu        sync.Mutex // serializes catalog writers
 
 	gate     *admissionGate // nil: admission control disabled
 	draining atomic.Bool
 
-	mRequests  *obs.Counter
-	mErrors    *obs.Counter
-	mDeadline  *obs.Counter
-	mNotFound  *obs.Counter
-	mRetained  *obs.Counter
-	mDrainDone *obs.Counter
-	mDrainShed *obs.Counter
-	gInflight  *obs.Gauge
-	gSketches  *obs.Gauge
-	wLatency   *obs.WindowedHistogram
+	mRequests        *obs.Counter
+	mErrors          *obs.Counter
+	mDeadline        *obs.Counter
+	mDeadlinePartial *obs.Counter
+	mOverflow        *obs.Counter
+	mNotFound        *obs.Counter
+	mRetained        *obs.Counter
+	mDrainDone       *obs.Counter
+	mDrainShed       *obs.Counter
+	gInflight        *obs.Gauge
+	gSketches        *obs.Gauge
+	wLatency         *obs.WindowedHistogram
 }
 
 // New builds a Server.
@@ -106,27 +122,32 @@ func New(opts Options) *Server {
 		deadline = DefaultDeadline
 	}
 	s := &Server{
-		reg:         reg,
-		rec:         obs.NewFlightRecorder(opts.SlowTraces),
-		deadline:    deadline,
-		maxEmb:      opts.MaxEmbeddings,
-		injectDelay: opts.InjectDelay,
+		reg:            reg,
+		rec:            obs.NewFlightRecorder(opts.SlowTraces),
+		deadline:       deadline,
+		maxEmb:         opts.MaxEmbeddings,
+		maxResultBytes: opts.MaxResultBytes,
+		injectDelay:    opts.InjectDelay,
 
 		gate: newAdmissionGate(reg, opts.MaxInflight, opts.MaxQueue),
 
-		mRequests:  reg.Counter("serve.http.requests"),
-		mErrors:    reg.Counter("serve.http.errors"),
-		mDeadline:  reg.Counter("serve.http.deadline_exceeded"),
-		mNotFound:  reg.Counter("serve.http.not_found"),
-		mRetained:  reg.Counter("trace.slow.retained"),
-		mDrainDone: reg.Counter("serve.drain.completed"),
-		mDrainShed: reg.Counter("serve.drain.shed"),
-		gInflight:  reg.Gauge("serve.http.inflight"),
-		gSketches:  reg.Gauge("serve.catalog.sketches"),
-		wLatency:   reg.Windowed("serve.request.latency_seconds"),
+		mRequests:        reg.Counter("serve.http.requests"),
+		mErrors:          reg.Counter("serve.http.errors"),
+		mDeadline:        reg.Counter("serve.http.deadline_exceeded"),
+		mDeadlinePartial: reg.Counter("serve.http.deadline_partial"),
+		mOverflow:        reg.Counter("serve.http.tuple_overflow"),
+		mNotFound:        reg.Counter("serve.http.not_found"),
+		mRetained:        reg.Counter("trace.slow.retained"),
+		mDrainDone:       reg.Counter("serve.drain.completed"),
+		mDrainShed:       reg.Counter("serve.drain.shed"),
+		gInflight:        reg.Gauge("serve.http.inflight"),
+		gSketches:        reg.Gauge("serve.catalog.sketches"),
+		wLatency:         reg.Windowed("serve.request.latency_seconds"),
 	}
 	empty := map[string]*sketch.Sketch{}
 	s.catalog.Store(&empty)
+	emptyIx := map[string]*eval.Index{}
+	s.ixCatalog.Store(&emptyIx)
 	return s
 }
 
@@ -151,6 +172,22 @@ func (s *Server) AddSketch(name string, sk *sketch.Sketch) {
 	next[name] = sk
 	s.catalog.Store(&next)
 	s.gSketches.Set(int64(len(next)))
+}
+
+// AddIndex publishes the document index backing a dataset, enabling
+// ?mode=exact for it. Separate from AddSketch because synopsis-only
+// deployments (loading .syn files) have no document to index; exact
+// requests against such datasets get a structured 404.
+func (s *Server) AddIndex(name string, ix *eval.Index) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.ixCatalog.Load()
+	next := make(map[string]*eval.Index, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = ix
+	s.ixCatalog.Store(&next)
 }
 
 // SetCatalog atomically replaces the whole catalog. In-flight requests keep
@@ -223,12 +260,61 @@ func (s *Server) Handler() http.Handler {
 type EstimateResponse struct {
 	TraceID     string  `json:"trace_id"`
 	Dataset     string  `json:"dataset"`
+	Mode        string  `json:"mode"`
 	Query       string  `json:"query"`
 	Selectivity float64 `json:"selectivity"`
 	ResultNodes int     `json:"result_nodes"`
 	Empty       bool    `json:"empty"`
 	Truncated   bool    `json:"truncated"`
-	Seconds     float64 `json:"seconds"`
+	// Partial marks a streamed answer that did not cover the full result
+	// graph (node budget or deadline); TopK then carries the coverage and
+	// the truncation bound.
+	Partial bool          `json:"partial,omitempty"`
+	TopK    *TopKResponse `json:"topk,omitempty"`
+	Seconds float64       `json:"seconds"`
+}
+
+// TopKResponse is the streaming-emission report on a budgeted answer
+// (?k= or -max-result-bytes): how much was emitted and an upper bound on
+// the answer mass that was truncated.
+type TopKResponse struct {
+	K           int     `json:"k"`
+	Expanded    int     `json:"expanded"`
+	Discovered  int     `json:"discovered"`
+	EmittedMass float64 `json:"emitted_mass"`
+	// ErrorBound is meaningful only when ErrorBoundFinite; a recursive
+	// synopsis can make the truncated chain mass genuinely unbounded, and
+	// JSON has no encoding for +Inf.
+	ErrorBound       float64 `json:"error_bound"`
+	ErrorBoundFinite bool    `json:"error_bound_finite"`
+	Exhausted        bool    `json:"exhausted"`
+	// WorkCapped reports that the evaluator's shared enumeration pool ran
+	// dry: the truncated enumerations' missing mass is included in
+	// ErrorBound, but the prefix stopped short of the node budget.
+	WorkCapped  bool `json:"work_capped,omitempty"`
+	DeadlineHit bool `json:"deadline_hit,omitempty"`
+}
+
+// topKResponse converts eval's info into the wire form, routing non-finite
+// masses away from the JSON encoder (encoding/json rejects +Inf outright —
+// the whole response would turn into a 200 with an empty body).
+func topKResponse(info *eval.TopKInfo) *TopKResponse {
+	r := &TopKResponse{
+		K:           info.K,
+		Expanded:    info.Expanded,
+		Discovered:  info.Discovered,
+		Exhausted:   info.Exhausted,
+		WorkCapped:  info.WorkCapped,
+		DeadlineHit: info.DeadlineHit,
+	}
+	if !math.IsInf(info.EmittedMass, 0) {
+		r.EmittedMass = info.EmittedMass
+	}
+	if !math.IsInf(info.ErrorBound, 0) {
+		r.ErrorBound = info.ErrorBound
+		r.ErrorBoundFinite = true
+	}
+	return r
 }
 
 // errorResponse is the JSON body of a failed call. Code is a stable
@@ -244,19 +330,65 @@ type errorResponse struct {
 	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
-// retryAfterSeconds is the backoff hint on every 503: one deadline's worth
-// of waiting (at least a second) gives the queue time to drain.
-func (s *Server) retryAfterSeconds() int {
+// retryAfterSeconds picks the backoff hint for a refused request, by shed
+// code. The old flat one-deadline hint was wrong in two modes: a draining
+// server will never take the retry — the client should fail over to
+// another replica immediately, not politely wait out a deadline that has
+// nothing to do with recovery — and a gate with no waiting room
+// (-max-queue negative) sheds on slot saturation, where slots turn over in
+// about one service time, far sooner than one deadline. Both advertise the
+// minimum hint; queue-full sheds with a real queue keep the deadline-based
+// hint (the queue needs roughly that long to drain). Never zero or
+// negative: a "Retry-After: 0" invites an immediate retry storm.
+func (s *Server) retryAfterSeconds(code string) int {
+	switch code {
+	case "draining":
+		return 1
+	case shedQueueFull:
+		if s.gate != nil && s.gate.queueCap() == 0 {
+			return 1
+		}
+	}
 	if sec := int(s.deadline / time.Second); sec > 1 {
 		return sec
 	}
 	return 1
 }
 
-// handleEstimate serves GET /estimate?q=<twig query>[&dataset=<name>]: it
-// admits the request through the admission gate, parses the query, evaluates
-// it approximately over the named synopsis under the request deadline, and
-// reports the selectivity estimate. The request runs under an obs.Trace
+// resultLimit derives the per-request result-node budget: an explicit ?k=
+// wins (negative: unbounded streaming — full answer plus TopK accounting),
+// else the MaxResultBytes default converts at resultNodeBytes per node,
+// else 0 (batch emission).
+func (s *Server) resultLimit(r *http.Request) (int, error) {
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		k, err := strconv.Atoi(ks)
+		if err != nil || k == 0 {
+			return 0, fmt.Errorf("k must be a non-zero integer (negative: unbounded streaming), got %q", ks)
+		}
+		return k, nil
+	}
+	if s.maxResultBytes > 0 {
+		if k := s.maxResultBytes / resultNodeBytes; k > 1 {
+			return k, nil
+		}
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// resultNodeBytes is the approximate wire-and-heap cost of one
+// result-synopsis node (ID, variable, label, source, count, a couple of
+// edges), used to convert a byte budget into a node budget.
+const resultNodeBytes = 64
+
+// handleEstimate serves GET /estimate?q=<twig query>[&dataset=<name>]
+// [&k=<node budget>][&mode=approx|exact]: it admits the request through the
+// admission gate, parses the query, evaluates it over the named synopsis
+// (or, for mode=exact, the dataset's document index) under the request
+// deadline, and reports the selectivity estimate. With a node budget — an
+// explicit ?k= or the server-wide MaxResultBytes default — evaluation
+// streams the result best-first and the response reports coverage plus a
+// bound on the truncated remainder. The request runs under an obs.Trace
 // whose admission/parse/plan/memo/emit phase breakdown lands in the flight
 // recorder when the request ranks among the slowest.
 //
@@ -307,6 +439,21 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		ds.End()
 	}
 
+	limit, err := s.resultLimit(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad_k", tr.IDString(), err.Error())
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "approx"
+	}
+	if mode != "approx" && mode != "exact" {
+		s.fail(w, http.StatusBadRequest, "bad_mode", tr.IDString(),
+			fmt.Sprintf("mode must be approx or exact, got %q", mode))
+		return
+	}
+
 	ps := tr.StartSpan("serve.parse")
 	q, err := query.Parse(qsrc)
 	ps.End()
@@ -324,8 +471,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	tr.SetLabel("dataset", dsName)
 
+	if mode == "exact" {
+		s.serveExact(w, ctx, tr, q, dsName, limit)
+		return
+	}
+
 	res := eval.ApproxContext(ctx, sk, q, eval.Options{
 		MaxEmbeddings: s.maxEmb,
+		Limit:         limit,
 		Metrics:       s.reg,
 	})
 
@@ -333,32 +486,108 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	resp := EstimateResponse{
 		TraceID:     tr.IDString(),
 		Dataset:     dsName,
+		Mode:        mode,
 		Query:       q.String(),
-		Selectivity: res.Selectivity(),
+		Selectivity: jsonSafe(res.Selectivity()),
 		ResultNodes: len(res.Nodes),
 		Empty:       res.Empty,
 		Truncated:   res.Truncated,
 	}
+	if res.TopK != nil {
+		resp.TopK = topKResponse(res.TopK)
+		resp.Partial = !res.TopK.Exhausted
+	}
 	es.End()
+	s.finishEstimate(w, ctx, tr, resp)
+}
 
+// serveExact answers ?mode=exact from the dataset's document index: the
+// true binding-tuple count, plus — under a node budget — a best-first
+// materialization report with the exact remaining-mass bound.
+func (s *Server) serveExact(w http.ResponseWriter, ctx context.Context, tr *obs.Trace, q *query.Query, dsName string, limit int) {
+	ix, ok := (*s.ixCatalog.Load())[dsName]
+	if !ok {
+		s.mNotFound.Inc()
+		s.fail(w, http.StatusNotFound, "no_exact_index", tr.IDString(),
+			fmt.Sprintf("dataset %q has no document index (built from a synopsis only); exact mode needs -doc", dsName))
+		return
+	}
+	res := eval.ExactOpts(ctx, ix, q, eval.ExactOptions{Limit: limit})
+	if res.Overflow {
+		// An overflowed count is a property of the query, not a server
+		// fault: answer 422 with a stable code instead of letting the +Inf
+		// escape as an unstructured 500 (or worse, through the JSON encoder,
+		// which rejects it and truncates the body). The trace is shed-tagged
+		// so overload forensics see these alongside admission sheds.
+		s.mOverflow.Inc()
+		tr.SetLabel("shed", "tuple_overflow")
+		tr.Finish()
+		if s.rec.Record(tr) {
+			s.mRetained.Inc()
+		}
+		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error:   res.Err().Error(),
+			Code:    "tuple_overflow",
+			TraceID: tr.IDString(),
+		})
+		return
+	}
+	resp := EstimateResponse{
+		TraceID:     tr.IDString(),
+		Dataset:     dsName,
+		Mode:        "exact",
+		Query:       q.String(),
+		Selectivity: res.Tuples,
+		Empty:       res.Empty,
+	}
+	if limit != 0 {
+		es := tr.StartSpan("serve.emit")
+		nt, info, err := res.TopKNestingTree(limit)
+		es.End()
+		if err != nil {
+			s.fail(w, http.StatusUnprocessableEntity, "result_too_large", tr.IDString(), err.Error())
+			return
+		}
+		resp.ResultNodes = nt.Size()
+		resp.TopK = topKResponse(info)
+		resp.Partial = !info.Exhausted
+	}
+	s.finishEstimate(w, ctx, tr, resp)
+}
+
+// finishEstimate settles a computed answer against the deadline. The
+// deadline is enforced at phase boundaries rather than inside the
+// enumeration loops: a request that finished over budget is answered with
+// 503 so closed-loop clients see the overload, even though its work is
+// already done — unless the request ran in streaming mode and emitted at
+// least one node, in which case the partial answer plus its truncation
+// bound is worth more to the client than a retry hint, and goes out as a
+// 200 marked Partial.
+func (s *Server) finishEstimate(w http.ResponseWriter, ctx context.Context, tr *obs.Trace, resp EstimateResponse) {
 	total := tr.Finish()
 	resp.Seconds = total.Seconds()
 	if s.rec.Record(tr) {
 		s.mRetained.Inc()
 	}
-
-	// The deadline is enforced at phase boundaries rather than inside the
-	// enumeration loops: a request that finished over budget is answered
-	// with 503 so closed-loop clients see the overload, even though its
-	// work is already done.
 	if ctx.Err() != nil {
+		if resp.TopK != nil && resp.TopK.Expanded >= 1 {
+			resp.Partial = true
+			resp.TopK.DeadlineHit = true
+			s.mDeadlinePartial.Inc()
+			s.wLatency.Observe(total.Seconds())
+			if s.draining.Load() {
+				s.mDrainDone.Inc()
+			}
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
 		s.mDeadline.Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds("deadline_exceeded")))
 		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 			Error:             fmt.Sprintf("deadline exceeded after %s", total.Round(time.Microsecond)),
 			Code:              "deadline_exceeded",
 			TraceID:           tr.IDString(),
-			RetryAfterSeconds: s.retryAfterSeconds(),
+			RetryAfterSeconds: s.retryAfterSeconds("deadline_exceeded"),
 		})
 		return
 	}
@@ -367,6 +596,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.mDrainDone.Inc()
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// jsonSafe clamps non-finite floats (which encoding/json rejects, killing
+// the whole response body) to the largest representable value with the
+// right sign.
+func jsonSafe(f float64) float64 {
+	if math.IsInf(f, 1) {
+		return math.MaxFloat64
+	}
+	if math.IsInf(f, -1) {
+		return -math.MaxFloat64
+	}
+	return f
 }
 
 // shed answers a request the server refuses to work on: 503 with a
@@ -380,12 +622,12 @@ func (s *Server) shed(w http.ResponseWriter, tr *obs.Trace, code, msg string) {
 	if s.rec.Record(tr) {
 		s.mRetained.Inc()
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(code)))
 	s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 		Error:             msg,
 		Code:              code,
 		TraceID:           tr.IDString(),
-		RetryAfterSeconds: s.retryAfterSeconds(),
+		RetryAfterSeconds: s.retryAfterSeconds(code),
 	})
 }
 

@@ -23,6 +23,11 @@ type ExactResult struct {
 	// of fanouts exceeded ~1.8e308); Tuples is then +Inf and Err returns a
 	// typed *TupleOverflowError.
 	Overflow bool
+	// Canceled marks that the evaluation stopped at the context deadline
+	// (or cancellation) before finishing; Tuples and Empty are then
+	// meaningless and the result must not be materialized. Only
+	// ExactContext callers with a cancelable context can observe it.
+	Canceled bool
 
 	ev    *evaluator
 	limit int // default TopKNestingTree budget, from ExactOptions.Limit
@@ -61,12 +66,17 @@ func Exact(ix *Index, q *query.Query) *ExactResult {
 	return ExactContext(context.Background(), ix, q)
 }
 
-// ExactContext is Exact with request-scoped telemetry: when ctx carries an
-// obs.Trace (obs.ContextWithTrace), the evaluation records its plan and memo
-// phases as spans on that trace. An untraced context adds one context
-// lookup and nothing else — the phase spans are inert and read no clocks —
-// so the hot path is unchanged for batch callers.
-func ExactContext(ctx context.Context, ix *Index, q *query.Query) *ExactResult {
+// ExactContext is Exact with request-scoped telemetry and cancellation:
+// when ctx carries an obs.Trace (obs.ContextWithTrace), the evaluation
+// records its plan and memo phases as spans on that trace, and a ctx that
+// expires mid-evaluation stops the match/validity recursion at the next
+// periodic check (returning a result marked Canceled) instead of running
+// the document to completion — so a serving deadline actually frees the
+// evaluator. An untraced background context adds one context lookup and a
+// counter increment per memoized call and nothing else — the phase spans
+// are inert and read no clocks — so the hot path is unchanged for batch
+// callers and float accumulation (hence fingerprints) is untouched.
+func ExactContext(ctx context.Context, ix *Index, q *query.Query) (r *ExactResult) {
 	tr := obs.TraceFrom(ctx)
 	span := obs.StartSpan("eval.exact.query")
 	reg := obs.Default()
@@ -79,9 +89,23 @@ func ExactContext(ctx context.Context, ix *Index, q *query.Query) *ExactResult {
 	reg.Counter("eval.exact.queries").Inc()
 	ts := tr.StartSpan("eval.plan")
 	ev := newEvaluator(ix, q)
+	ev.ctx = ctx
 	ts.End()
 	defer ev.finish(reg)
-	r := &ExactResult{ev: ev}
+	r = &ExactResult{ev: ev}
+	// checkCtx aborts a canceled evaluation by panicking with a sentinel;
+	// translate it into a Canceled result here. The deferred finish above
+	// still runs (LIFO after this recover), so the pooled scratch is
+	// returned and counters flush either way.
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(ctxCanceled); !ok {
+				panic(p)
+			}
+			r.Canceled = true
+			reg.Counter("eval.exact.canceled").Inc()
+		}
+	}()
 	ts = tr.StartSpan("eval.memo")
 	root := ix.Doc.Root
 	if root == nil || !ev.valid(0, root) {
@@ -125,11 +149,18 @@ type evaluator struct {
 	ix     *Index
 	q      *query.Query
 	qnodes []*query.Node
-	qidx   map[*query.Node]int
-	eidx   map[*query.Edge]int   // edge -> dense edge slot base
-	pidx   map[*query.Path]int   // predicate -> dense pred slot base
-	slids  map[*query.Step]int32 // step -> label ID (-1: label absent from document)
-	stride int                   // OID space of the document
+
+	// ctx is the evaluation's cancellation signal (nil or Background for
+	// batch callers); ctxTick accumulates traversal work (elements visited,
+	// not calls — a single descendant step can scan thousands of positions)
+	// and rate-limits the Err checks to one read per ctxCheckEvery units.
+	ctx     context.Context
+	ctxTick uint
+	qidx    map[*query.Node]int
+	eidx    map[*query.Edge]int   // edge -> dense edge slot base
+	pidx    map[*query.Path]int   // predicate -> dense pred slot base
+	slids   map[*query.Step]int32 // step -> label ID (-1: label absent from document)
+	stride  int                   // OID space of the document
 
 	// cedges holds, per query variable, its compiled outgoing edges, so the
 	// hot recursion reads plain struct fields instead of hashing pointers.
@@ -148,6 +179,59 @@ type evaluator struct {
 	matchHits  int64
 	labelScans int64
 	countFast  int64
+}
+
+// ctxCanceled is the panic sentinel checkCtx throws when the evaluation's
+// context expires; ExactContext and TopKNestingTree recover it at their
+// boundary. A panic (rather than threading error returns through the
+// memoized recursion) keeps the hot valid/tuples/matches signatures — and
+// their inlining — untouched.
+type ctxCanceled struct{}
+
+// ctxCheckEvery is the traversal-work interval between context reads.
+// Work is charged in element-visit units (tickCtx) rather than call
+// counts: one path call with a descendant axis can scan thousands of
+// label positions, so call-count polling would let a heavy query run
+// arbitrarily far past its deadline between checks.
+const ctxCheckEvery = 1024
+
+// tickCtx charges n element-visits of traversal work against the poll
+// budget and reads ctx.Err() once it is spent. The very first charge of
+// an evaluation polls immediately, so an already-expired deadline aborts
+// before any document walk. Note that a deadline lapsing mid-walk only
+// becomes visible through Err() once the runtime delivers the timer; on a
+// GOMAXPROCS=1 box a CPU-bound walk delays that until async preemption
+// (~10ms), which bounds the overrun there — the same single-core physics
+// serve documents for InjectDelay.
+func (ev *evaluator) tickCtx(n int) {
+	if ev.ctx == nil {
+		return
+	}
+	first := ev.ctxTick == 0
+	ev.ctxTick += uint(n)
+	if !first && ev.ctxTick < ctxCheckEvery {
+		return
+	}
+	ev.ctxTick = 1
+	if ev.ctx.Err() != nil {
+		panic(ctxCanceled{})
+	}
+}
+
+// checkCtx charges the minimal one-unit tick; the recursion entry points
+// (valid, tuples, path, countPath) call it so even scan-free query shapes
+// keep polling.
+func (ev *evaluator) checkCtx() {
+	ev.tickCtx(1)
+}
+
+// ctxErr reports the evaluation context's status without the panic, for
+// loop-boundary checks that want to stop gracefully with partial output.
+func (ev *evaluator) ctxErr() error {
+	if ev.ctx == nil {
+		return nil
+	}
+	return ev.ctx.Err()
 }
 
 // cedge is the compiled form of one query edge.
@@ -267,6 +351,7 @@ func (ev *evaluator) finish(reg *obs.Registry) {
 // orders keep exactly the elements whose predicates hold, in first-
 // occurrence (document) order.
 func (ev *evaluator) path(e *xmltree.Node, p *query.Path) []*xmltree.Node {
+	ev.checkCtx()
 	ix := ev.ix
 	cur := []*xmltree.Node{e}
 	for si := range p.Steps {
@@ -305,6 +390,7 @@ func (ev *evaluator) path(e *xmltree.Node, p *query.Path) []*xmltree.Node {
 			}
 			ev.labelScans++
 		}
+		ev.tickCtx(len(next))
 		if len(step.Preds) > 0 {
 			kept := next[:0]
 			for _, t := range next {
@@ -363,6 +449,7 @@ func countable(p *query.Path) bool {
 // subtree ranges while no earlier descendant step has run (sources then sit
 // in disjoint subtrees), and falls back to dedup counting afterwards.
 func (ev *evaluator) countPath(e *xmltree.Node, p *query.Path, existOnly bool) int {
+	ev.checkCtx()
 	ix := ev.ix
 	k := len(p.Steps)
 	last := &p.Steps[k-1]
@@ -414,6 +501,7 @@ func (ev *evaluator) countPath(e *xmltree.Node, p *query.Path, existOnly bool) i
 			}
 			nonNesting = false
 		}
+		ev.tickCtx(len(next))
 		if len(step.Preds) > 0 {
 			kept := next[:0]
 			for _, t := range next {
@@ -465,6 +553,7 @@ func (ev *evaluator) countPath(e *xmltree.Node, p *query.Path, existOnly bool) i
 			}
 		}
 	}
+	ev.tickCtx(len(cur) + total)
 	ev.putBuf(cur, pooled)
 	return total
 }
@@ -522,6 +611,7 @@ func (ev *evaluator) matches(slot int, p *query.Path, e *xmltree.Node) []*xmltre
 // valid reports whether element e is a valid binding for query variable
 // qi: every required child edge must have at least one valid binding.
 func (ev *evaluator) valid(qi int, e *xmltree.Node) bool {
+	ev.checkCtx()
 	sc := ev.sc
 	slot := qi*ev.stride + e.OID
 	if sc.validEp[slot] == sc.epoch {
@@ -567,6 +657,7 @@ func (ev *evaluator) valid(qi int, e *xmltree.Node) bool {
 // child edges of the summed tuples of valid matches, with empty optional
 // groups contributing a NULL binding (factor 1).
 func (ev *evaluator) tuples(qi int, e *xmltree.Node) float64 {
+	ev.checkCtx()
 	sc := ev.sc
 	slot := qi*ev.stride + e.OID
 	if sc.tupEp[slot] == sc.epoch {

@@ -72,15 +72,23 @@ func (h *ntHeap) Pop() any {
 // the same default cap as NestingTree, exceeding it is an error). Children
 // appear under their parent in emission (mass) order, not document order —
 // the point of the mode is that the heavy answers surface first.
-func (r *ExactResult) TopKNestingTree(limit int) (*xmltree.Tree, *TopKInfo, error) {
+//
+// A context deadline (the ctx the result was evaluated under) is observed
+// at two granularities: between node expansions the loop stops gracefully
+// — the emitted prefix is returned with DeadlineHit set — and inside the
+// subtree-size DP or the match replay the evaluator's periodic checkCtx
+// aborts the call, which surfaces here as the context's error (the
+// partially built tree cannot price a sound ErrorBound, so nothing is
+// returned).
+func (r *ExactResult) TopKNestingTree(limit int) (t *xmltree.Tree, info *TopKInfo, err error) {
 	if limit == 0 {
 		limit = r.limit
 	}
-	info := &TopKInfo{}
+	info = &TopKInfo{}
 	if limit > 0 {
 		info.K = limit
 	}
-	t := xmltree.NewTree()
+	t = xmltree.NewTree()
 	if r.Empty {
 		info.Exhausted = true
 		return t, info, nil
@@ -88,6 +96,14 @@ func (r *ExactResult) TopKNestingTree(limit int) (*xmltree.Tree, *TopKInfo, erro
 	ev := r.ev
 	ev.acquire()
 	defer ev.finish(obs.Default())
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(ctxCanceled); !ok {
+				panic(p)
+			}
+			t, info, err = nil, nil, ev.ctx.Err()
+		}
+	}()
 
 	// ntSize computes the exact NT subtree node count per (variable,
 	// element) occurrence. Shared document subtrees are counted once here
@@ -96,6 +112,7 @@ func (r *ExactResult) TopKNestingTree(limit int) (*xmltree.Tree, *TopKInfo, erro
 	counts := make(map[int]float64)
 	var ntSize func(qi int, e *xmltree.Node) float64
 	ntSize = func(qi int, e *xmltree.Node) float64 {
+		ev.checkCtx()
 		slot := qi*ev.stride + e.OID
 		if v, ok := counts[slot]; ok {
 			return v
@@ -126,6 +143,14 @@ func (r *ExactResult) TopKNestingTree(limit int) (*xmltree.Tree, *TopKInfo, erro
 			if limit <= 0 {
 				return nil, nil, fmt.Errorf("eval: nesting tree exceeds %d nodes", budget)
 			}
+			break
+		}
+		// Mirror the approximate expansion's deadline contract: at least one
+		// node goes out, and a deadline crossed between expansions returns
+		// the emitted prefix (the frontier sum below still prices the full
+		// remainder, so the accounting stays exact).
+		if info.Expanded > 0 && ev.ctxErr() != nil {
+			info.DeadlineHit = true
 			break
 		}
 		it := heap.Pop(h).(*ntItem)

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"container/heap"
+	"container/list"
 	"context"
 	"math"
 	"sync"
@@ -402,15 +403,35 @@ func (h *tkHeap) Pop() any {
 	return n
 }
 
-// massKey keys the mass-bound cache per (synopsis, query) pair; both are
-// immutable once built and retained by the caller, the same lifetime
-// reasoning planCache and labelSetCache rely on.
+// massKey keys the mass-bound cache per (synopsis, canonical query text)
+// pair. The query is keyed by its printed form, not pointer identity: the
+// serving daemon parses a fresh *query.Query per request, and a
+// pointer-keyed entry for it could never be hit again — every budgeted
+// request would grow the cache by O(queryVars x sketchNodes) float64s
+// forever. The printed form is a parse/print fixed point (fuzz-pinned), so
+// equal text means an identical mass DP.
 type massKey struct {
 	sk *sketch.Sketch
-	q  *query.Query
+	qs string
 }
 
-var massCache sync.Map // massKey -> *queryMass
+// massCacheCap bounds the mass-DP cache. Unlike planCache entries these are
+// not tiny, so the cache is LRU-evicted: a client cycling query shapes
+// cannot grow it without bound, and entries pinning a synopsis that
+// SetCatalog swapped out age out under any ongoing budgeted traffic instead
+// of holding the old sketch forever.
+const massCacheCap = 64
+
+var massCache = struct {
+	sync.Mutex
+	m   map[massKey]*list.Element
+	lru list.List // front = most recently used; Element.Value is *massEntry
+}{m: make(map[massKey]*list.Element)}
+
+type massEntry struct {
+	key massKey
+	mm  *queryMass
+}
 
 // queryMass is the cached mass DP for one (synopsis, query) pair: dm[qi][u]
 // upper-bounds the answer mass strictly below one element of synopsis node
@@ -434,16 +455,34 @@ func (m *queryMass) pvAt(e *query.Edge, u int) float64 {
 	return math.Inf(1)
 }
 
-// massFor returns the memoized mass DP for (sk, q).
+// massFor returns the memoized mass DP for (sk, q), computing it outside
+// the cache lock on a miss. A racing duplicate computation keeps the copy
+// stored first; computeMass is deterministic, so the copies are identical.
 func massFor(sk *sketch.Sketch, q *query.Query, qnodes []*query.Node, qidx map[*query.Node]int) *queryMass {
-	key := massKey{sk, q}
-	if v, ok := massCache.Load(key); ok {
-		return v.(*queryMass)
+	key := massKey{sk: sk, qs: q.String()}
+	c := &massCache
+	c.Lock()
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		mm := el.Value.(*massEntry).mm
+		c.Unlock()
+		return mm
 	}
+	c.Unlock()
 	mm := computeMass(sk, qnodes, qidx)
-	if v, loaded := massCache.LoadOrStore(key, mm); loaded {
-		return v.(*queryMass)
+	c.Lock()
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		mm = el.Value.(*massEntry).mm
+	} else {
+		c.m[key] = c.lru.PushFront(&massEntry{key: key, mm: mm})
+		for c.lru.Len() > massCacheCap {
+			back := c.lru.Back()
+			c.lru.Remove(back)
+			delete(c.m, back.Value.(*massEntry).key)
+		}
 	}
+	c.Unlock()
 	return mm
 }
 

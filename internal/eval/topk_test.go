@@ -1,8 +1,10 @@
 package eval
 
 import (
+	"container/list"
 	"context"
 	"math"
+	"strings"
 	"testing"
 
 	"treesketch/internal/datagen"
@@ -297,4 +299,88 @@ func FuzzEvalTopK(f *testing.F) {
 			}
 		}
 	})
+}
+
+// resetMassCache empties the process-wide mass-DP cache so a test observes
+// only its own entries.
+func resetMassCache() {
+	massCache.Lock()
+	massCache.m = make(map[massKey]*list.Element)
+	massCache.lru.Init()
+	massCache.Unlock()
+}
+
+// TestMassCacheTextKeyedAndBounded pins the serving-daemon memory contract
+// of the mass-DP cache: entries are keyed by canonical query text (so the
+// per-request *query.Query a server parses still hits), and the cache is
+// LRU-bounded (so a client cycling query shapes cannot grow it without
+// limit, and entries pinning a swapped-out synopsis eventually age out).
+func TestMassCacheTextKeyedAndBounded(t *testing.T) {
+	resetMassCache()
+	defer resetMassCache()
+	sk := fuzzSketch()
+	vars := func(q *query.Query) ([]*query.Node, map[*query.Node]int) {
+		qnodes := q.Vars()
+		qidx := make(map[*query.Node]int, len(qnodes))
+		for i, qn := range qnodes {
+			qidx[qn] = i
+		}
+		return qnodes, qidx
+	}
+
+	// Two separately parsed queries with the same text — the serving
+	// pattern — must share one entry.
+	q1, err := query.Parse("//a{//b?,//d?}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := query.Parse("//a{//b?,//d?}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 == q2 {
+		t.Fatal("test wants distinct query pointers")
+	}
+	n1, i1 := vars(q1)
+	n2, i2 := vars(q2)
+	mm1 := massFor(sk, q1, n1, i1)
+	mm2 := massFor(sk, q2, n2, i2)
+	if mm1 != mm2 {
+		t.Fatal("same query text from distinct pointers did not hit the cache")
+	}
+	massCache.Lock()
+	entries := len(massCache.m)
+	massCache.Unlock()
+	if entries != 1 {
+		t.Fatalf("cache holds %d entries after one query text, want 1", entries)
+	}
+
+	// A client cycling distinct query texts is bounded by massCacheCap, and
+	// the most recent entry stays resident.
+	var last *query.Query
+	for i := 0; i < 3*massCacheCap; i++ {
+		src := "//a" + strings.Repeat("//b", i%2+1) + "{" + strings.Repeat("/c", i/2+1) + "?}"
+		q, err := query.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		qn, qi := vars(q)
+		massFor(sk, q, qn, qi)
+		last = q
+	}
+	massCache.Lock()
+	entries, lruLen := len(massCache.m), massCache.lru.Len()
+	massCache.Unlock()
+	if entries > massCacheCap || lruLen > massCacheCap {
+		t.Fatalf("cache grew to %d map / %d lru entries, cap %d", entries, lruLen, massCacheCap)
+	}
+	if entries != lruLen {
+		t.Fatalf("map (%d) and lru (%d) out of sync", entries, lruLen)
+	}
+	qn, qi := vars(last)
+	mmA := massFor(sk, last, qn, qi)
+	mmB := massFor(sk, last, qn, qi)
+	if mmA != mmB {
+		t.Fatal("most recently used entry was evicted")
+	}
 }

@@ -46,10 +46,11 @@ type Options struct {
 	// MaxResultBytes is the default per-request answer budget in bytes,
 	// converted to a result-synopsis node budget at about 64 bytes per node
 	// and served through the streaming top-k path (eval.Options.Limit). An
-	// explicit ?k= on the request overrides it. 0 means unbudgeted batch
-	// emission. This is the serving daemon's per-query memory cap: a query
-	// whose full answer would be arbitrarily large emits its
-	// highest-contribution nodes and a bound on what was cut.
+	// explicit ?k= on the request may pick a smaller budget but is clamped
+	// to this cap (including negative, i.e. unbounded, k). 0 means
+	// unbudgeted batch emission. This is the serving daemon's per-query
+	// memory cap: a query whose full answer would be arbitrarily large
+	// emits its highest-contribution nodes and a bound on what was cut.
 	MaxResultBytes int
 	// MaxInflight caps the requests evaluating concurrently; arrivals
 	// beyond it wait in a short queue, and beyond that are shed with 503
@@ -278,10 +279,15 @@ type EstimateResponse struct {
 // (?k= or -max-result-bytes): how much was emitted and an upper bound on
 // the answer mass that was truncated.
 type TopKResponse struct {
-	K           int     `json:"k"`
-	Expanded    int     `json:"expanded"`
-	Discovered  int     `json:"discovered"`
-	EmittedMass float64 `json:"emitted_mass"`
+	K          int `json:"k"`
+	Expanded   int `json:"expanded"`
+	Discovered int `json:"discovered"`
+	// EmittedMass is meaningful only when EmittedMassFinite: a divergent
+	// prefix mass leaves the field at 0, and without the flag a client
+	// could not tell "nothing emitted" from "emitted mass overflowed" —
+	// exactly the cases the non-finite guard exists for.
+	EmittedMass       float64 `json:"emitted_mass"`
+	EmittedMassFinite bool    `json:"emitted_mass_finite"`
 	// ErrorBound is meaningful only when ErrorBoundFinite; a recursive
 	// synopsis can make the truncated chain mass genuinely unbounded, and
 	// JSON has no encoding for +Inf.
@@ -307,14 +313,20 @@ func topKResponse(info *eval.TopKInfo) *TopKResponse {
 		WorkCapped:  info.WorkCapped,
 		DeadlineHit: info.DeadlineHit,
 	}
-	if !math.IsInf(info.EmittedMass, 0) {
+	if jsonFinite(info.EmittedMass) {
 		r.EmittedMass = info.EmittedMass
+		r.EmittedMassFinite = true
 	}
-	if !math.IsInf(info.ErrorBound, 0) {
+	if jsonFinite(info.ErrorBound) {
 		r.ErrorBound = info.ErrorBound
 		r.ErrorBoundFinite = true
 	}
 	return r
+}
+
+// jsonFinite reports whether encoding/json can carry f at all.
+func jsonFinite(f float64) bool {
+	return !math.IsInf(f, 0) && !math.IsNaN(f)
 }
 
 // errorResponse is the JSON body of a failed call. Code is a stable
@@ -355,25 +367,32 @@ func (s *Server) retryAfterSeconds(code string) int {
 	return 1
 }
 
-// resultLimit derives the per-request result-node budget: an explicit ?k=
-// wins (negative: unbounded streaming — full answer plus TopK accounting),
-// else the MaxResultBytes default converts at resultNodeBytes per node,
-// else 0 (batch emission).
+// resultLimit derives the per-request result-node budget. An explicit ?k=
+// selects the budget (negative: unbounded streaming — full answer plus TopK
+// accounting); when the operator configured MaxResultBytes, the derived
+// node budget is both the default and a hard ceiling on ?k=, so an
+// untrusted client can shrink its answer but never lift the daemon's
+// per-query memory cap (a negative k is clamped to the cap too). Without
+// MaxResultBytes, no ?k= means 0 (batch emission).
 func (s *Server) resultLimit(r *http.Request) (int, error) {
+	capK := 0
+	if s.maxResultBytes > 0 {
+		capK = s.maxResultBytes / resultNodeBytes
+		if capK < 1 {
+			capK = 1
+		}
+	}
 	if ks := r.URL.Query().Get("k"); ks != "" {
 		k, err := strconv.Atoi(ks)
 		if err != nil || k == 0 {
 			return 0, fmt.Errorf("k must be a non-zero integer (negative: unbounded streaming), got %q", ks)
 		}
+		if capK > 0 && (k < 0 || k > capK) {
+			k = capK
+		}
 		return k, nil
 	}
-	if s.maxResultBytes > 0 {
-		if k := s.maxResultBytes / resultNodeBytes; k > 1 {
-			return k, nil
-		}
-		return 1, nil
-	}
-	return 0, nil
+	return capK, nil
 }
 
 // resultNodeBytes is the approximate wire-and-heap cost of one
@@ -513,6 +532,18 @@ func (s *Server) serveExact(w http.ResponseWriter, ctx context.Context, tr *obs.
 		return
 	}
 	res := eval.ExactOpts(ctx, ix, q, eval.ExactOptions{Limit: limit})
+	if res.Canceled {
+		// The evaluator stopped at the request deadline with no usable
+		// count; finishEstimate sees the expired ctx and no TopK block and
+		// answers the standard deadline 503.
+		s.finishEstimate(w, ctx, tr, EstimateResponse{
+			TraceID: tr.IDString(),
+			Dataset: dsName,
+			Mode:    "exact",
+			Query:   q.String(),
+		})
+		return
+	}
 	if res.Overflow {
 		// An overflowed count is a property of the query, not a server
 		// fault: answer 422 with a stable code instead of letting the +Inf
@@ -545,6 +576,13 @@ func (s *Server) serveExact(w http.ResponseWriter, ctx context.Context, tr *obs.
 		nt, info, err := res.TopKNestingTree(limit)
 		es.End()
 		if err != nil {
+			if ctx.Err() != nil {
+				// Materialization was cut off by the request deadline with
+				// nothing soundly emittable; answer the deadline 503 rather
+				// than misreporting a client error.
+				s.finishEstimate(w, ctx, tr, resp)
+				return
+			}
 			s.fail(w, http.StatusUnprocessableEntity, "result_too_large", tr.IDString(), err.Error())
 			return
 		}
@@ -562,34 +600,32 @@ func (s *Server) serveExact(w http.ResponseWriter, ctx context.Context, tr *obs.
 // already done — unless the request ran in streaming mode and emitted at
 // least one node, in which case the partial answer plus its truncation
 // bound is worth more to the client than a retry hint, and goes out as a
-// 200 marked Partial.
+// 200 marked Partial. A streamed answer whose expansion Exhausted the
+// result graph is complete — the deadline merely lapsed after the work
+// finished — so it goes out as a normal 200 with Partial false and eval's
+// own DeadlineHit report intact.
 func (s *Server) finishEstimate(w http.ResponseWriter, ctx context.Context, tr *obs.Trace, resp EstimateResponse) {
 	total := tr.Finish()
 	resp.Seconds = total.Seconds()
 	if s.rec.Record(tr) {
 		s.mRetained.Inc()
 	}
-	if ctx.Err() != nil {
+	if ctx.Err() != nil && (resp.TopK == nil || !resp.TopK.Exhausted) {
 		if resp.TopK != nil && resp.TopK.Expanded >= 1 {
 			resp.Partial = true
 			resp.TopK.DeadlineHit = true
 			s.mDeadlinePartial.Inc()
-			s.wLatency.Observe(total.Seconds())
-			if s.draining.Load() {
-				s.mDrainDone.Inc()
-			}
-			s.writeJSON(w, http.StatusOK, resp)
+		} else {
+			s.mDeadline.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds("deadline_exceeded")))
+			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error:             fmt.Sprintf("deadline exceeded after %s", total.Round(time.Microsecond)),
+				Code:              "deadline_exceeded",
+				TraceID:           tr.IDString(),
+				RetryAfterSeconds: s.retryAfterSeconds("deadline_exceeded"),
+			})
 			return
 		}
-		s.mDeadline.Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds("deadline_exceeded")))
-		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-			Error:             fmt.Sprintf("deadline exceeded after %s", total.Round(time.Microsecond)),
-			Code:              "deadline_exceeded",
-			TraceID:           tr.IDString(),
-			RetryAfterSeconds: s.retryAfterSeconds("deadline_exceeded"),
-		})
-		return
 	}
 	s.wLatency.Observe(total.Seconds())
 	if s.draining.Load() {

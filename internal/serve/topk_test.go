@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -63,6 +64,9 @@ func TestEstimateTopKStreaming(t *testing.T) {
 	if bounded.TopK.EmittedMass < 0 || (bounded.TopK.ErrorBoundFinite && bounded.TopK.ErrorBound < 0) {
 		t.Fatalf("negative masses: %+v", bounded.TopK)
 	}
+	if !bounded.TopK.EmittedMassFinite {
+		t.Fatalf("finite emitted mass not flagged: %+v", bounded.TopK)
+	}
 
 	streamed := getEstimate(t, ts, base+"&k=-1")
 	if streamed.TopK == nil || !streamed.TopK.Exhausted || streamed.Partial {
@@ -112,10 +116,21 @@ func TestEstimateMaxResultBytes(t *testing.T) {
 	if er.TopK == nil || er.TopK.K != 3 {
 		t.Fatalf("default byte budget response = %+v", er.TopK)
 	}
-	// An explicit ?k= overrides the server default.
+	// An explicit ?k= below the cap picks the smaller budget.
 	er = getEstimate(t, ts, "/estimate?dataset=imdb&k=1&q="+urlQueryEscape(q))
 	if er.TopK == nil || er.TopK.K != 1 {
 		t.Fatalf("?k=1 override response = %+v", er.TopK)
+	}
+	// The operator cap is a hard ceiling: a ?k= above it, or a negative
+	// (unbounded-streaming) k, is clamped back to the derived node budget —
+	// an untrusted client cannot lift the daemon's per-query memory cap.
+	er = getEstimate(t, ts, "/estimate?dataset=imdb&k=100&q="+urlQueryEscape(q))
+	if er.TopK == nil || er.TopK.K != 3 {
+		t.Fatalf("?k=100 over cap response = %+v, want clamp to 3", er.TopK)
+	}
+	er = getEstimate(t, ts, "/estimate?dataset=imdb&k=-1&q="+urlQueryEscape(q))
+	if er.TopK == nil || er.TopK.K != 3 {
+		t.Fatalf("?k=-1 under cap response = %+v, want clamp to 3", er.TopK)
 	}
 }
 
@@ -294,5 +309,108 @@ func TestTupleOverflowHTTP(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != 200 {
 		t.Errorf("approx path on overflowing query: status %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestExactModeDeadline503 pins exact-mode cancellation through the serve
+// path: a request deadline that expires during exact evaluation must come
+// back as the standard deadline 503 — with the evaluator actually stopped —
+// instead of occupying an admission slot until the full document walk
+// completes.
+func TestExactModeDeadline503(t *testing.T) {
+	doc := xmltree.MustCompact("r(a(b(c),b,d),a(b),a,e(d,d))")
+	s := New(Options{Deadline: time.Nanosecond, Metrics: obs.NewRegistry()})
+	s.AddSketch("tiny", sketch.FromStable(stable.Build(doc)))
+	s.AddIndex("tiny", eval.NewIndex(doc))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/estimate?dataset=tiny&mode=exact&q=" + urlQueryEscape("//a{//b?}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("exact-mode deadline status = %d, want 503", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("deadline body not JSON: %v", err)
+	}
+	if er.Code != "deadline_exceeded" {
+		t.Fatalf("deadline code = %q, want deadline_exceeded", er.Code)
+	}
+	if n := s.Registry().Snapshot().Counters["serve.http.deadline_exceeded"]; n != 1 {
+		t.Errorf("serve.http.deadline_exceeded = %d, want 1", n)
+	}
+	// The evaluator-side cancellation counter lands in the process-wide
+	// default registry (ExactContext has no registry injection point).
+	if n := obs.Default().Snapshot().Counters["eval.exact.canceled"]; n < 1 {
+		t.Errorf("eval.exact.canceled = %d, want >= 1", n)
+	}
+}
+
+// TestFinishEstimateExhaustedNotPartial pins the deadline-settlement
+// matrix: an Exhausted streamed answer whose deadline lapsed only after the
+// work finished is a complete answer (200, Partial false, eval's
+// DeadlineHit report preserved); a non-exhausted stream with >= 1 node goes
+// out 200 Partial with DeadlineHit forced; nothing emitted stays a 503.
+func TestFinishEstimateExhaustedNotPartial(t *testing.T) {
+	s := New(Options{Metrics: obs.NewRegistry()})
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	settle := func(resp EstimateResponse) (*httptest.ResponseRecorder, EstimateResponse) {
+		t.Helper()
+		w := httptest.NewRecorder()
+		s.finishEstimate(w, expired, obs.NewTrace("q"), resp)
+		var out EstimateResponse
+		if w.Code == 200 {
+			if err := json.NewDecoder(w.Body).Decode(&out); err != nil {
+				t.Fatalf("200 body not JSON: %v", err)
+			}
+		}
+		return w, out
+	}
+
+	w, out := settle(EstimateResponse{TopK: &TopKResponse{Expanded: 5, Exhausted: true}})
+	if w.Code != 200 || out.Partial || out.TopK.DeadlineHit {
+		t.Fatalf("exhausted past deadline: status %d partial=%v deadline_hit=%v, want 200/false/false",
+			w.Code, out.Partial, out.TopK.DeadlineHit)
+	}
+
+	w, out = settle(EstimateResponse{TopK: &TopKResponse{Expanded: 1}})
+	if w.Code != 200 || !out.Partial || !out.TopK.DeadlineHit {
+		t.Fatalf("truncated past deadline: status %d partial=%v deadline_hit=%v, want 200/true/true",
+			w.Code, out.Partial, out.TopK.DeadlineHit)
+	}
+
+	w, _ = settle(EstimateResponse{})
+	if w.Code != 503 {
+		t.Fatalf("batch past deadline: status %d, want 503", w.Code)
+	}
+
+	snap := s.Registry().Snapshot()
+	if n := snap.Counters["serve.http.deadline_partial"]; n != 1 {
+		t.Errorf("serve.http.deadline_partial = %d, want 1", n)
+	}
+	if n := snap.Counters["serve.http.deadline_exceeded"]; n != 1 {
+		t.Errorf("serve.http.deadline_exceeded = %d, want 1", n)
+	}
+}
+
+// TestTopKResponseNonFinite pins the wire conversion's non-finite routing:
+// encoding/json cannot carry Inf or NaN, so each mass travels with its own
+// finiteness flag instead of silently collapsing to an ambiguous zero.
+func TestTopKResponseNonFinite(t *testing.T) {
+	r := topKResponse(&eval.TopKInfo{EmittedMass: math.Inf(1), ErrorBound: math.NaN()})
+	if r.EmittedMass != 0 || r.EmittedMassFinite {
+		t.Fatalf("infinite emitted mass = %v finite=%v, want 0/false", r.EmittedMass, r.EmittedMassFinite)
+	}
+	if r.ErrorBound != 0 || r.ErrorBoundFinite {
+		t.Fatalf("NaN error bound = %v finite=%v, want 0/false", r.ErrorBound, r.ErrorBoundFinite)
+	}
+	r = topKResponse(&eval.TopKInfo{EmittedMass: 3, ErrorBound: 0.5})
+	if r.EmittedMass != 3 || !r.EmittedMassFinite || r.ErrorBound != 0.5 || !r.ErrorBoundFinite {
+		t.Fatalf("finite masses = %+v, want both values with flags set", r)
 	}
 }

@@ -51,6 +51,8 @@ func main() {
 		refEval  = flag.Bool("ref-eval", false, "run approximate-eval legs through the reference (pre-fast-path) enumeration; accuracy metrics must match a fast-path run bit-for-bit")
 		olSec    = flag.Float64("openloop-seconds", 0, "open-loop overload leg duration per dataset (0: scale default, negative: disable)")
 		olOver   = flag.Float64("openloop-overload", 0, "open-loop offered load as a multiple of measured capacity (0: default 1.5)")
+		updOps   = flag.Int("update-ops", 0, "live-update leg: seeded insert/delete ops absorbed per dataset before the accuracy check and compaction (0: scale default, negative: disable)")
+		negative = flag.Bool("negative", false, "run the negative-workload leg: guaranteed-empty queries must produce empty approximate answers")
 		determ   = flag.Bool("determinism", false, "instead of benchmarking, print per-cell synopsis fingerprints and verify Workers=1 matches Workers=GOMAXPROCS; diff the output across GOMAXPROCS settings to check cross-core determinism")
 	)
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
@@ -108,6 +110,8 @@ func main() {
 	cfg.ReferenceEval = *refEval
 	cfg.OpenLoopSeconds = *olSec
 	cfg.OpenLoopOverload = *olOver
+	cfg.UpdateOps = *updOps
+	cfg.Negative = *negative
 	cfg.Out = os.Stdout
 
 	if *determ {

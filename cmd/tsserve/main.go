@@ -10,14 +10,18 @@
 //	tsserve -synopsis xmark.syn
 //	tsserve -synopsis xmark=xmark.syn,imdb=imdb.syn -addr :9000
 //
-// Build from a document at startup:
+// Build from a document at startup (live by default: the dataset accepts
+// POST /update and answers estimates over a tiered base+delta synopsis with
+// non-blocking background compaction; -live=false serves a frozen snapshot
+// with ?mode=exact support instead):
 //
 //	tsserve -doc xmark.xml -budget 20
 //
 // Endpoints:
 //
-//	GET /estimate?q=//item[//keyword]{//name?}&dataset=xmark
-//	GET /datasets          published dataset names
+//	GET  /estimate?q=//item[//keyword]{//name?}&dataset=xmark
+//	POST /update           insert/delete a subtree in a live dataset
+//	GET  /datasets         published dataset names
 //	GET /healthz           liveness probe
 //	GET /metrics           OpenMetrics exposition (windowed p50/p99, rates)
 //	GET /debug/obs         full JSON metrics snapshot
@@ -42,6 +46,7 @@ import (
 	"treesketch/internal/serve"
 	"treesketch/internal/sketch"
 	"treesketch/internal/stable"
+	"treesketch/internal/tier"
 	"treesketch/internal/tsbuild"
 	"treesketch/internal/xmltree"
 )
@@ -52,6 +57,7 @@ func main() {
 		synopses = flag.String("synopsis", "", "comma-separated synopsis files to serve, each 'name=path' or a bare path (dataset name derived from the filename)")
 		docs     = flag.String("doc", "", "comma-separated XML documents to build synopses from at startup, each 'name=path' or a bare path")
 		budgetKB = flag.Int("budget", 50, "synopsis budget in KB when building from -doc")
+		live     = flag.Bool("live", true, "serve -doc datasets as live tier stacks (POST /update, base+delta estimates, background compaction); false freezes them at startup and enables ?mode=exact")
 		deadline = flag.Duration("deadline", serve.DefaultDeadline, "per-request processing deadline (<=0 disables)")
 		maxEmb   = flag.Int("max-embeddings", 0, "cap on embedding enumeration per query (0: eval default)")
 		maxResB  = flag.Int("max-result-bytes", 0, "per-request answer budget in bytes, served via streaming top-k emission with a truncation bound (0: unbudgeted; ?k= on a request overrides)")
@@ -96,11 +102,29 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *live {
+			// Live dataset: the tier stack owns the document from here on
+			// (all mutation goes through POST /update) and estimates answer
+			// over its base+delta view. No eval.Index is published — an
+			// index over a mutating document would go stale, so ?mode=exact
+			// answers a structured 404 for live datasets.
+			stk, err := tier.New(doc, tier.Options{
+				BudgetBytes: *budgetKB << 10,
+				Metrics:     srv.Registry(),
+			})
+			if err != nil {
+				fatal(err)
+			}
+			srv.AddStack(name, stk)
+			fmt.Printf("tsserve: built %s from %s: %d elems, live (POST /update on)\n",
+				name, path, doc.Size())
+			continue
+		}
 		st := stable.Build(doc)
 		sk, stats := tsbuild.Build(st, tsbuild.Options{BudgetBytes: *budgetKB << 10})
 		srv.AddSketch(name, sk)
-		// Doc-built datasets keep their index so /estimate?mode=exact can
-		// answer true counts; synopsis-only datasets have no document.
+		// Frozen doc-built datasets keep their index so /estimate?mode=exact
+		// can answer true counts; synopsis-only datasets have no document.
 		srv.AddIndex(name, eval.NewIndex(doc))
 		fmt.Printf("tsserve: built %s from %s: %d elems -> %.1f KB in %.2fs (exact mode on)\n",
 			name, path, doc.Size(), float64(stats.FinalBytes)/1024, stats.Elapsed.Seconds())

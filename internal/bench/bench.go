@@ -92,6 +92,16 @@ type Config struct {
 	// floor it pins the leg's capacity, so overload means the same thing
 	// on every machine.
 	OpenLoopInflight int `json:"openloop_inflight,omitempty"`
+	// UpdateOps is how many seeded insert/delete operations the live-update
+	// leg absorbs into each dataset's tier stack before measuring accuracy
+	// against a rebuild and compacting. 0 selects a scale-appropriate
+	// default; negative disables the leg.
+	UpdateOps int `json:"update_ops,omitempty"`
+	// Negative enables the negative-workload leg: guaranteed-empty queries
+	// on every dataset must produce empty approximate answers at the
+	// serving budget. Off by default (the scheduled full-grid run turns it
+	// on).
+	Negative bool `json:"negative,omitempty"`
 	// Out receives human-readable progress lines; nil discards them.
 	Out io.Writer `json:"-"`
 }
@@ -169,6 +179,12 @@ func (c Config) withDefaults() Config {
 		// — MaxInflight / openLoopServiceFloor — comparable across machines.
 		c.OpenLoopInflight = 4
 	}
+	if c.UpdateOps == 0 {
+		c.UpdateOps = 600
+		if c.Quick {
+			c.UpdateOps = 120
+		}
+	}
 	if c.ServeBudgetKB <= 0 {
 		for _, kb := range c.BudgetsKB {
 			if kb > c.ServeBudgetKB {
@@ -241,6 +257,14 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
+		if cfg.UpdateOps > 0 {
+			if err := benchUpdate(res, r, reg, cfg, ds); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.Negative {
+		benchNegative(res, r, cfg)
 	}
 	rc.Stop()
 	res.Obs = reg.Snapshot()

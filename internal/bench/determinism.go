@@ -5,16 +5,22 @@ import (
 	"io"
 	"runtime"
 
+	"treesketch/internal/exp"
 	"treesketch/internal/obs"
+	"treesketch/internal/tier"
 	"treesketch/internal/tsbuild"
 )
 
 // Determinism builds every (dataset, budget) cell of the config's grid
 // twice — once with a single evaluation worker and once with one worker per
 // CPU — and verifies the two synopses are bit-identical via
-// sketch.Fingerprint. It writes one stable line per cell,
+// sketch.Fingerprint. With the live-update leg enabled it also replays the
+// leg's seeded update script against two tier stacks (Workers=1 and
+// Workers=N), compacts both, and requires identical view fingerprints.
+// It writes one stable line per cell,
 //
 //	determinism sketch/<dataset>/<budget>kb fp=<hex>
+//	determinism update/<dataset> fp=<hex>
 //
 // so runs of the same seed under different GOMAXPROCS settings can be
 // diffed textually: CI runs the check under GOMAXPROCS=1 and GOMAXPROCS=4
@@ -46,6 +52,49 @@ func Determinism(cfg Config, w io.Writer) error {
 				}
 			}
 		}
+		if cfg.UpdateOps > 0 {
+			fp, err := updateDeterminism(r, cfg, ds)
+			if err != nil {
+				return err
+			}
+			if w != nil {
+				if _, err := fmt.Fprintf(w, "determinism update/%s fp=%016x\n", ds, fp); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	return nil
+}
+
+// updateDeterminism replays the update leg's script on two synchronous
+// stacks that differ only in compaction worker count and checks the final
+// (fully compacted) views fingerprint identically.
+func updateDeterminism(r *exp.Runner, cfg Config, ds string) (uint64, error) {
+	var fps [2]uint64
+	for i, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		st, err := tier.New(copyTree(r.Doc(ds)), tier.Options{
+			BudgetBytes:     cfg.ServeBudgetKB * 1024,
+			Workers:         workers,
+			MinCompactElems: 1 << 30,
+			Synchronous:     true,
+			Metrics:         obs.NewRegistry(),
+		})
+		if err != nil {
+			return 0, fmt.Errorf("bench: %s: %w", ds, err)
+		}
+		rng := updateRNG(uint64(cfg.Seed)*2654435761 + 1)
+		for op := 0; op < cfg.UpdateOps; op++ {
+			if err := nextUpdateOp(st, &rng)(); err != nil {
+				return 0, fmt.Errorf("bench: %s: update op %d: %w", ds, op, err)
+			}
+		}
+		st.Compact()
+		fps[i] = st.View().Fingerprint()
+	}
+	if fps[0] != fps[1] {
+		return 0, fmt.Errorf("bench: update/%s: Workers=1 view fingerprint %016x != Workers=%d fingerprint %016x",
+			ds, fps[0], runtime.GOMAXPROCS(0), fps[1])
+	}
+	return fps[0], nil
 }

@@ -8,13 +8,15 @@ import (
 
 // TestDeterminismCheck runs the fingerprint check on a tiny grid: it must
 // pass (Workers=1 and Workers=N builds agree), emit one stable line per
-// cell, and reproduce the same output when run again.
+// sketch cell plus one per dataset for the update-script replay, and
+// reproduce the same output when run again.
 func TestDeterminismCheck(t *testing.T) {
 	cfg := Config{
 		Datasets:     []string{"XMark-TX"},
 		BudgetsKB:    []int{2, 3},
 		Scale:        4000,
 		WorkloadSize: 1,
+		UpdateOps:    20,
 		Quick:        true,
 	}
 	var a, b bytes.Buffer
@@ -22,13 +24,16 @@ func TestDeterminismCheck(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("got %d output lines, want 2:\n%s", len(lines), a.String())
+	if len(lines) != 3 {
+		t.Fatalf("got %d output lines, want 3:\n%s", len(lines), a.String())
 	}
-	for _, line := range lines {
+	for _, line := range lines[:2] {
 		if !strings.HasPrefix(line, "determinism sketch/XMark-TX/") || !strings.Contains(line, " fp=") {
 			t.Fatalf("malformed determinism line %q", line)
 		}
+	}
+	if line := lines[2]; !strings.HasPrefix(line, "determinism update/XMark-TX fp=") {
+		t.Fatalf("malformed update determinism line %q", line)
 	}
 	if err := Determinism(cfg, &b); err != nil {
 		t.Fatal(err)

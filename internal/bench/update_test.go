@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"treesketch/internal/obs"
+)
+
+func TestBenchUpdateLeg(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.UpdateOps = 40
+	cfg = cfg.withDefaults()
+	res := &Result{Benchmarks: make(map[string]Metrics)}
+	if err := benchUpdate(res, newRunner(cfg), obs.NewRegistry(), cfg, "XMark-TX"); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := res.Benchmarks["update/XMark-TX"]
+	if !ok {
+		t.Fatalf("missing update benchmark, have %v", sortedKeys(res.Benchmarks))
+	}
+	t.Logf("update metrics: %v", m)
+	if m["update_ops"] != 40 {
+		t.Errorf("update_ops = %g, want 40", m["update_ops"])
+	}
+	if m["update_absorbs_per_sec"] <= 0 || m["update_absorb_p50_seconds"] <= 0 {
+		t.Errorf("absorb metrics = %v", m)
+	}
+	if m["update_delta_elems"] == 0 || m["update_tiers"] <= 0 {
+		t.Errorf("pre-compaction delta shape = %v, want nonzero delta over >= 1 tier", m)
+	}
+	// The pre-compaction answer must track exact truth on the mutated
+	// document; the bound is deliberately loose (it includes the base
+	// sketch's own compression error at this tiny budget).
+	if mre := m["update_mre_pct"]; mre < 0 || mre > 50 {
+		t.Errorf("update_mre_pct = %g, want within [0, 50]", mre)
+	}
+	if m["compaction_seconds"] <= 0 {
+		t.Errorf("compaction_seconds = %g, want > 0", m["compaction_seconds"])
+	}
+	// The fingerprint identity check ran (benchUpdate errors on mismatch).
+	if m["post_compact_fp_match"] != 1 {
+		t.Errorf("post_compact_fp_match = %g, want 1", m["post_compact_fp_match"])
+	}
+}
+
+func TestUpdateLegRunsInsideGrid(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ServeSeconds = -1
+	cfg.OpenLoopSeconds = -1
+	cfg.UpdateOps = 20
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Benchmarks["update/XMark-TX"]; !ok {
+		t.Fatalf("grid run missing update leg, have %v", sortedKeys(res.Benchmarks))
+	}
+	// The tier stack reports into the run's registry.
+	if res.Obs.Counters["tier.absorbs"] < 20 {
+		t.Errorf("tier.absorbs = %d, want >= 20", res.Obs.Counters["tier.absorbs"])
+	}
+	if res.Obs.Counters["tier.compactions"] == 0 {
+		t.Error("tier.compactions = 0, want >= 1 (the leg forces one)")
+	}
+
+	// Negative disables the leg.
+	cfg.UpdateOps = -1
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Benchmarks["update/XMark-TX"]; ok {
+		t.Error("UpdateOps < 0 should disable the update leg")
+	}
+}
+
+func TestBenchNegativeLeg(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Negative = true
+	cfg = cfg.withDefaults()
+	res := &Result{Benchmarks: make(map[string]Metrics)}
+	benchNegative(res, newRunner(cfg), cfg)
+	// One cell per -TX dataset regardless of cfg.Datasets: the leg is a
+	// cross-dataset claim check.
+	for _, ds := range []string{"IMDB-TX", "XMark-TX", "SProt-TX"} {
+		m, ok := res.Benchmarks["negative/"+ds]
+		if !ok {
+			t.Fatalf("missing negative/%s, have %v", ds, sortedKeys(res.Benchmarks))
+		}
+		if m["queries"] <= 0 {
+			t.Errorf("%s: queries = %g, want > 0", ds, m["queries"])
+		}
+		if m["empty_answer_rate"] != 1 {
+			t.Errorf("%s: empty_answer_rate = %g, want 1 (the paper's negative-workload claim)", ds, m["empty_answer_rate"])
+		}
+	}
+}
+
+func TestDeterminismIncludesUpdateCells(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BudgetsKB = []int{4}
+	cfg.UpdateOps = 20
+	var out bytes.Buffer
+	if err := Determinism(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "determinism sketch/XMark-TX/04kb fp=") {
+		t.Errorf("missing sketch determinism line:\n%s", text)
+	}
+	if !strings.Contains(text, "determinism update/XMark-TX fp=") {
+		t.Errorf("missing update determinism line:\n%s", text)
+	}
+}

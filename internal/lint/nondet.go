@@ -36,6 +36,11 @@ var NonDetAnalyzer = &Analyzer{
 var nondetRoots = [][2]string{
 	{"tsbuild", "Build"},
 	{"sketch", "Fingerprint"},
+	// The tier stack's compaction product must be bit-identical to a
+	// from-scratch rebuild (the update determinism and differential tests
+	// diff its fingerprints across GOMAXPROCS), so its build path carries
+	// the same discipline.
+	{"tier", "CompactSketch"},
 }
 
 func runNonDet(p *Program) []Finding {

@@ -29,6 +29,7 @@ import (
 	"treesketch/internal/obs"
 	"treesketch/internal/query"
 	"treesketch/internal/sketch"
+	"treesketch/internal/tier"
 )
 
 // DefaultDeadline bounds request handling when Options.Deadline is unset.
@@ -96,12 +97,17 @@ type Server struct {
 	// ?mode=exact; same immutable-swap discipline. Synopsis-only datasets
 	// have no entry.
 	ixCatalog atomic.Pointer[map[string]*eval.Index]
-	mu        sync.Mutex // serializes catalog writers
+	// stacks maps live datasets to their tier stacks (POST /update +
+	// base+delta estimates); same immutable-swap discipline. Static
+	// datasets have no entry.
+	stacks atomic.Pointer[map[string]*tier.Stack]
+	mu     sync.Mutex // serializes catalog writers
 
 	gate     *admissionGate // nil: admission control disabled
 	draining atomic.Bool
 
 	mRequests        *obs.Counter
+	mUpdates         *obs.Counter
 	mErrors          *obs.Counter
 	mDeadline        *obs.Counter
 	mDeadlinePartial *obs.Counter
@@ -133,6 +139,7 @@ func New(opts Options) *Server {
 		gate: newAdmissionGate(reg, opts.MaxInflight, opts.MaxQueue),
 
 		mRequests:        reg.Counter("serve.http.requests"),
+		mUpdates:         reg.Counter("serve.http.updates"),
 		mErrors:          reg.Counter("serve.http.errors"),
 		mDeadline:        reg.Counter("serve.http.deadline_exceeded"),
 		mDeadlinePartial: reg.Counter("serve.http.deadline_partial"),
@@ -149,6 +156,8 @@ func New(opts Options) *Server {
 	s.catalog.Store(&empty)
 	emptyIx := map[string]*eval.Index{}
 	s.ixCatalog.Store(&emptyIx)
+	emptyStacks := map[string]*tier.Stack{}
+	s.stacks.Store(&emptyStacks)
 	return s
 }
 
@@ -189,6 +198,49 @@ func (s *Server) AddIndex(name string, ix *eval.Index) {
 	}
 	next[name] = ix
 	s.ixCatalog.Store(&next)
+}
+
+// AddStack publishes a live (updatable) dataset: estimates answer over the
+// stack's base+delta view and POST /update mutates it. The name is also
+// entered in the sketch catalog (with the stack's current base) so dataset
+// listing and name resolution treat live and static datasets uniformly —
+// but the estimate path always reads the stack's current view, never that
+// snapshot.
+func (s *Server) AddStack(name string, st *tier.Stack) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.stacks.Load()
+	next := make(map[string]*tier.Stack, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = st
+	s.stacks.Store(&next)
+
+	oldCat := *s.catalog.Load()
+	nextCat := make(map[string]*sketch.Sketch, len(oldCat)+1)
+	for k, v := range oldCat {
+		nextCat[k] = v
+	}
+	nextCat[name] = st.View().Base
+	s.catalog.Store(&nextCat)
+	s.gSketches.Set(int64(len(nextCat)))
+}
+
+// stackFor resolves a live dataset; an empty name resolves iff exactly one
+// stack is published.
+func (s *Server) stackFor(name string) (*tier.Stack, string, bool) {
+	stacks := *s.stacks.Load()
+	if name == "" {
+		if len(stacks) == 1 {
+			for n, st := range stacks {
+				return st, n, true
+			}
+		}
+		return nil, "", false
+	}
+	st, ok := stacks[name]
+	return st, name, ok
 }
 
 // SetCatalog atomically replaces the whole catalog. In-flight requests keep
@@ -249,6 +301,7 @@ func (s *Server) lookup(name string) (*sketch.Sketch, string, bool) {
 func (s *Server) Handler() http.Handler {
 	mux := obs.DebugMux(s.reg, s.rec)
 	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/datasets", s.handleDatasets)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -272,7 +325,28 @@ type EstimateResponse struct {
 	// the truncation bound.
 	Partial bool          `json:"partial,omitempty"`
 	TopK    *TopKResponse `json:"topk,omitempty"`
+	// Tier reports how a live (updatable) dataset's answer was merged from
+	// its base sketch and delta tiers; nil for static datasets.
+	Tier    *TierResponse `json:"tier,omitempty"`
 	Seconds float64       `json:"seconds"`
+}
+
+// TierResponse is the base+delta breakdown of an estimate served from a
+// tier stack.
+type TierResponse struct {
+	// Epoch counts compactions applied to the base; Tiers is the number of
+	// delta tiers consulted; DeltaElems is the signed element delta they
+	// carry relative to the base.
+	Epoch      uint64 `json:"epoch"`
+	Tiers      int    `json:"tiers"`
+	DeltaElems int    `json:"delta_elems"`
+	// BaseSelectivity is the base sketch's estimate alone; Delta is the
+	// signed correction the tiers contributed.
+	BaseSelectivity float64 `json:"base_selectivity"`
+	Delta           float64 `json:"delta"`
+	// Compacting reports an in-flight background compaction at answer
+	// time (the answer did not wait on it).
+	Compacting bool `json:"compacting,omitempty"`
 }
 
 // TopKResponse is the streaming-emission report on a budgeted answer
@@ -495,11 +569,36 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res := eval.ApproxContext(ctx, sk, q, eval.Options{
-		MaxEmbeddings: s.maxEmb,
-		Limit:         limit,
-		Metrics:       s.reg,
-	})
+	var (
+		res      *eval.Result
+		sel      float64
+		tierResp *TierResponse
+	)
+	if st, _, live := s.stackFor(dsName); live {
+		// Live dataset: answer over the stack's current immutable view
+		// (base+delta), which never blocks on an in-flight compaction.
+		var info tier.Info
+		res, sel, info = st.EstimateContext(ctx, q, eval.Options{
+			MaxEmbeddings: s.maxEmb,
+			Limit:         limit,
+			Metrics:       s.reg,
+		})
+		tierResp = &TierResponse{
+			Epoch:           info.Epoch,
+			Tiers:           info.Tiers,
+			DeltaElems:      info.DeltaElems,
+			BaseSelectivity: jsonSafe(info.BaseSelectivity),
+			Delta:           jsonSafe(info.Delta),
+			Compacting:      st.Compacting(),
+		}
+	} else {
+		res = eval.ApproxContext(ctx, sk, q, eval.Options{
+			MaxEmbeddings: s.maxEmb,
+			Limit:         limit,
+			Metrics:       s.reg,
+		})
+		sel = res.Selectivity()
+	}
 
 	es := tr.StartSpan("serve.emit")
 	resp := EstimateResponse{
@@ -507,10 +606,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Dataset:     dsName,
 		Mode:        mode,
 		Query:       q.String(),
-		Selectivity: jsonSafe(res.Selectivity()),
+		Selectivity: jsonSafe(sel),
 		ResultNodes: len(res.Nodes),
-		Empty:       res.Empty,
+		Empty:       res.Empty && sel == 0,
 		Truncated:   res.Truncated,
+		Tier:        tierResp,
 	}
 	if res.TopK != nil {
 		resp.TopK = topKResponse(res.TopK)

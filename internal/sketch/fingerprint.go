@@ -53,3 +53,18 @@ func (s *Sketch) Fingerprint() uint64 {
 	}
 	return h.Sum64()
 }
+
+// Combine folds an ordered sequence of 64-bit tokens (typically sketch
+// fingerprints plus structural counters) into a single fingerprint via
+// FNV-1a over their little-endian encodings. The tier stack uses it to
+// fingerprint a whole base+delta view so compaction determinism is
+// checkable across worker counts with one value.
+func Combine(tokens ...uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, t := range tokens {
+		binary.LittleEndian.PutUint64(buf[:], t)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

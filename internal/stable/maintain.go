@@ -94,8 +94,9 @@ func (m *Maintainer) key(e *xmltree.Node) string {
 }
 
 // classify assigns e to its (possibly new) class, incrementing its count;
-// children must already be classified.
-func (m *Maintainer) classify(e *xmltree.Node) int {
+// children must already be classified. The second result reports whether a
+// new class had to be created for e's signature.
+func (m *Maintainer) classify(e *xmltree.Node) (int, bool) {
 	k := m.key(e)
 	id, ok := m.classByKey[k]
 	if !ok {
@@ -103,7 +104,7 @@ func (m *Maintainer) classify(e *xmltree.Node) int {
 	}
 	m.nodes[id].Count++
 	m.classOf[e.OID] = id
-	return id
+	return id, !ok
 }
 
 func (m *Maintainer) newClass(e *xmltree.Node, k string) int {
@@ -234,12 +235,15 @@ func (m *Maintainer) DeleteSubtree(n *xmltree.Node) error {
 // reclassifyAncestors walks from e to the root, moving each element to the
 // class matching its updated child signature. The walk can stop early once
 // an element's class is unchanged (then no ancestor signature changes
-// either).
+// either) — but only when the class genuinely survived: when cur was the
+// sole member, unclassify frees its class ID and classify may recycle that
+// same ID for the *changed* signature, so an ID match alone does not mean
+// the signature (or its depth) is unchanged.
 func (m *Maintainer) reclassifyAncestors(e *xmltree.Node) {
 	for cur := e; cur != nil; cur = m.parentOf[cur.OID] {
 		old := m.classOf[cur.OID]
 		m.unclassify(cur)
-		if id := m.classify(cur); id == old {
+		if id, created := m.classify(cur); id == old && !created {
 			return
 		}
 	}
@@ -302,5 +306,59 @@ func (m *Maintainer) Synopsis() *Synopsis {
 		s.ClassOf[oid] = remap[id]
 	}
 	s.Root = remap[m.classOf[m.doc.Root.OID]]
+	return s
+}
+
+// Parent returns the parent element of n in the maintained document, or nil
+// when n is the document root or not part of the document.
+func (m *Maintainer) Parent(n *xmltree.Node) *xmltree.Node {
+	if n == nil {
+		return nil
+	}
+	return m.parentOf[n.OID]
+}
+
+// CanonicalSynopsis materializes the current summary with classes numbered
+// by first appearance in a document post-order walk — exactly the numbering
+// Build assigns. A maintained document therefore yields a synopsis
+// bit-identical to rebuilding from scratch, which is what lets compacted
+// sketches be fingerprint-compared against a rebuild oracle. ClassOf is
+// sized to the document's OID space with -1 for OIDs of deleted elements
+// (Build leaves untouched entries at 0, but never has dead OIDs).
+func (m *Maintainer) CanonicalSynopsis() *Synopsis {
+	s := &Synopsis{Root: -1}
+	if m.doc.Root == nil {
+		return s
+	}
+	remap := make(map[int]int, len(m.classByKey))
+	s.ClassOf = make([]int, m.doc.OIDSpace())
+	for i := range s.ClassOf {
+		s.ClassOf[i] = -1
+	}
+	m.doc.PostOrder(func(e *xmltree.Node) {
+		id := m.classOf[e.OID]
+		nid, ok := remap[id]
+		if !ok {
+			u := m.nodes[id]
+			nid = len(s.Nodes)
+			remap[id] = nid
+			v := &Node{
+				ID:    nid,
+				Label: u.Label,
+				Count: u.Count,
+				depth: u.depth,
+				Edges: make([]Edge, len(u.Edges)),
+			}
+			// Children precede parents in post-order, so every child class
+			// is already remapped.
+			for i, ed := range u.Edges {
+				v.Edges[i] = Edge{Child: remap[ed.Child], K: ed.K}
+			}
+			sort.Slice(v.Edges, func(a, b int) bool { return v.Edges[a].Child < v.Edges[b].Child })
+			s.Nodes = append(s.Nodes, v)
+		}
+		s.ClassOf[e.OID] = nid
+	})
+	s.Root = s.ClassOf[m.doc.Root.OID]
 	return s
 }

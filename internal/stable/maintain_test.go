@@ -66,6 +66,34 @@ func itoa(v int) string {
 	return out
 }
 
+// identicalSynopsis checks bit-level equality of two synopses: same root,
+// same node numbering, and per-node identical label, count, depth, and edge
+// lists. This is strictly stronger than sameSummary — it is what compaction
+// relies on when fingerprint-comparing a maintained document against a
+// from-scratch rebuild.
+func identicalSynopsis(t *testing.T, got, want *Synopsis) bool {
+	t.Helper()
+	if got.Root != want.Root || len(got.Nodes) != len(want.Nodes) {
+		t.Logf("root %d vs %d, nodes %d vs %d", got.Root, want.Root, len(got.Nodes), len(want.Nodes))
+		return false
+	}
+	for i, g := range got.Nodes {
+		w := want.Nodes[i]
+		if g.Label != w.Label || g.Count != w.Count || g.Depth() != w.Depth() || len(g.Edges) != len(w.Edges) {
+			t.Logf("node %d: got {%s count=%d depth=%d edges=%d}, want {%s count=%d depth=%d edges=%d}",
+				i, g.Label, g.Count, g.Depth(), len(g.Edges), w.Label, w.Count, w.Depth(), len(w.Edges))
+			return false
+		}
+		for j := range g.Edges {
+			if g.Edges[j] != w.Edges[j] {
+				t.Logf("node %d edge %d: %+v vs %+v", i, j, g.Edges[j], w.Edges[j])
+				return false
+			}
+		}
+	}
+	return true
+}
+
 func TestMaintainerMatchesBuildInitially(t *testing.T) {
 	doc := xmltree.MustCompact("r(a(b,b),a(b),c)")
 	m := NewMaintainer(doc)
@@ -206,6 +234,59 @@ func TestMaintainerSynopsisUsableDownstream(t *testing.T) {
 	}
 }
 
+// The next two tests pin one latent failure shape from two directions: when
+// a reclassified ancestor was the sole member of its class, unclassify frees
+// the class ID and classify immediately recycles the same ID for the
+// *changed* signature. An ID-equality early stop in reclassifyAncestors then
+// leaves every higher ancestor with a stale depth, so the maintained summary
+// diverges from a rebuild (depth feeds TSBuild's pool ordering and the
+// sketch fingerprint).
+
+func TestMaintainerInsertUnderJustInsertedSubtree(t *testing.T) {
+	doc := xmltree.MustCompact("r(x(b))")
+	m := NewMaintainer(doc)
+	x := doc.Root.Children[0]
+	s1, err := m.InsertSubtree(x, xmltree.MustCompact("s(t)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Parent(s1) != x {
+		t.Fatal("Parent disagrees with the insertion point")
+	}
+	// Insert below a node that was itself just inserted: every ancestor up
+	// to the root sits in a count-1 class, the recycling-prone shape.
+	if _, err := m.InsertSubtree(s1.Children[0], xmltree.MustCompact("u(v)")); err != nil {
+		t.Fatal(err)
+	}
+	canon := m.CanonicalSynopsis()
+	if err := canon.Verify(doc); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !identicalSynopsis(t, canon, Build(doc)) {
+		t.Fatal("canonical synopsis diverged from rebuild (stale ancestor depths)")
+	}
+}
+
+func TestMaintainerDeleteThenReinsertSameShape(t *testing.T) {
+	doc := xmltree.MustCompact("r(a(b(c)))")
+	m := NewMaintainer(doc)
+	a := doc.Root.Children[0]
+	if err := m.DeleteSubtree(a.Children[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The interesting state is *between* delete and reinsert: ancestor
+	// depths must shrink with the deleted chain.
+	if !identicalSynopsis(t, m.CanonicalSynopsis(), Build(doc)) {
+		t.Fatal("canonical synopsis diverged from rebuild after delete")
+	}
+	if _, err := m.InsertSubtree(a, xmltree.MustCompact("b(c)")); err != nil {
+		t.Fatal(err)
+	}
+	if !identicalSynopsis(t, m.CanonicalSynopsis(), Build(doc)) {
+		t.Fatal("canonical synopsis diverged from rebuild after reinserting the same shape")
+	}
+}
+
 // TestPropMaintainerEquivalentToRebuild drives random edit scripts and
 // compares the maintained synopsis against a from-scratch Build after
 // every step.
@@ -248,6 +329,10 @@ func TestPropMaintainerEquivalentToRebuild(t *testing.T) {
 			}
 			if !sameSummary(t, m.Synopsis(), Build(doc)) {
 				t.Logf("seed %d step %d: summaries diverged", seed, step)
+				return false
+			}
+			if !identicalSynopsis(t, m.CanonicalSynopsis(), Build(doc)) {
+				t.Logf("seed %d step %d: canonical synopsis not bit-identical to rebuild", seed, step)
 				return false
 			}
 		}

@@ -1,0 +1,26 @@
+package tier
+
+import (
+	"treesketch/internal/obs"
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+	"treesketch/internal/tsbuild"
+)
+
+// CompactSketch builds the compacted base sketch for a canonical
+// count-stable snapshot (stable.Maintainer.CanonicalSynopsis or
+// stable.Build output). It is the deterministic core of tier compaction:
+// the snapshot is numbered by document post-order and TSBuild is
+// bit-identical for any worker count, so the result fingerprints equal for
+// GOMAXPROCS=1 and N and equal to a from-scratch rebuild of the same
+// document. The tslint nondet analyzer polices this function's call graph
+// (it is registered as a root next to tsbuild.Build), so clocks, map
+// iteration, and unannotated goroutines cannot creep onto the path.
+func CompactSketch(canon *stable.Synopsis, budgetBytes, workers int, reg *obs.Registry) *sketch.Sketch {
+	sk, _ := tsbuild.Build(canon, tsbuild.Options{
+		BudgetBytes: budgetBytes,
+		Workers:     workers,
+		Metrics:     reg,
+	})
+	return sk
+}

@@ -1,0 +1,53 @@
+package tier
+
+import (
+	"testing"
+
+	"treesketch/internal/xmltree"
+)
+
+// testRNG is the same LCG the stable property tests use, so update scripts
+// are reproducible from a single seed with no global random state.
+type testRNG uint64
+
+func (r *testRNG) next(n int) int {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return int((uint64(*r) >> 33) % uint64(n))
+}
+
+// protoCap bounds the size of subtrees the scripter clones for insertion.
+const protoCap = 64
+
+// liveNodes returns the current document elements in preorder.
+func liveNodes(st *Stack) []*xmltree.Node {
+	var out []*xmltree.Node
+	st.Doc().PreOrder(func(n *xmltree.Node) { out = append(out, n) })
+	return out
+}
+
+// randomOp applies one seeded insert (cloning a random existing subtree of
+// bounded size under a random parent) or delete (random non-root element).
+// Inserts are forced while the document is small so scripts cannot delete
+// a document away.
+func randomOp(t *testing.T, st *Stack, rng *testRNG) {
+	t.Helper()
+	els := liveNodes(st)
+	insert := rng.next(2) == 0 || len(els) < 16
+	if insert {
+		src := els[rng.next(len(els))]
+		for countNodes(src) > protoCap {
+			src = src.Children[rng.next(len(src.Children))]
+		}
+		proto := xmltree.NewTree()
+		proto.Root = copyInto(proto, src)
+		parent := els[rng.next(len(els))]
+		if _, err := st.Insert(parent.OID, proto); err != nil {
+			t.Fatalf("insert under OID %d: %v", parent.OID, err)
+		}
+		return
+	}
+	victim := els[rng.next(len(els)-1)+1] // never the root
+	if err := st.Delete(victim.OID); err != nil {
+		t.Fatalf("delete OID %d: %v", victim.OID, err)
+	}
+}

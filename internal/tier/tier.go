@@ -1,0 +1,398 @@
+// Package tier maintains a queryable TreeSketch over a live document as an
+// LSM-style stack of synopses: a compacted immutable base plus small delta
+// tiers absorbed from stable.Maintainer insert/delete events. Queries are
+// answered over base+delta through an immutable View published with the
+// same atomic-swap discipline internal/serve's catalog uses, so estimates
+// never block on a build; deterministic background compactions fold the
+// delta back into a fresh base when it exceeds a size ratio.
+//
+// The delta representation is spine-relative: each absorbed update becomes
+// a pair of tiny exact sketches — the root-to-parent label spine with the
+// inserted (or deleted) subtree grafted on, and the bare spine — and
+// contributes sign x (est(spine+subtree) - est(spine)) to an estimate.
+// The subtraction cancels matches the base already counts along the spine
+// while keeping predicate activation the new subtree causes on its own
+// ancestor chain. Matches that pair new elements with off-spine base
+// elements are not visible to a delta tier; that approximation is bounded
+// by the differential test layer and disappears entirely at the next
+// compaction, which rebuilds from the maintained count-stable summary
+// (exact by Lemma 3.1).
+package tier
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treesketch/internal/eval"
+	"treesketch/internal/obs"
+	"treesketch/internal/query"
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+// Options configures a Stack.
+type Options struct {
+	// BudgetBytes is the byte budget handed to TSBuild for the compacted
+	// base. Defaults to 8192.
+	BudgetBytes int
+	// Workers is the TSBuild worker count for compactions. 0 lets TSBuild
+	// pick GOMAXPROCS; output is bit-identical for any value.
+	Workers int
+	// SealUnits bounds the unsealed tier-0 unit list: when reached, the
+	// units are folded into one merged segment (shared spines, two sketches
+	// per sign). Defaults to 32.
+	SealUnits int
+	// CompactFraction triggers a major compaction when the absorbed delta
+	// exceeds this fraction of the base element count. Defaults to 0.10.
+	CompactFraction float64
+	// MinCompactElems is an absolute floor on the absorbed delta before the
+	// ratio test applies, so small documents do not compact on every
+	// update. Defaults to 512.
+	MinCompactElems int
+	// Synchronous runs compactions inline in the triggering call instead of
+	// a background goroutine. Tests and determinism checks use this; the
+	// serving path leaves it false.
+	Synchronous bool
+	// CompactDelay artificially lengthens a compaction's build phase. It is
+	// a test hook (like serve's injected eval delay) for overlapping
+	// queries with an in-flight compaction deterministically.
+	CompactDelay time.Duration
+	// Metrics receives the tier.* telemetry. Nil selects obs.Default.
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.BudgetBytes <= 0 {
+		o.BudgetBytes = 8192
+	}
+	if o.SealUnits <= 0 {
+		o.SealUnits = 32
+	}
+	if o.CompactFraction <= 0 {
+		o.CompactFraction = 0.10
+	}
+	if o.MinCompactElems <= 0 {
+		o.MinCompactElems = 512
+	}
+	o.Metrics = obs.Or(o.Metrics)
+	return o
+}
+
+// Stack is a tiered synopsis over one live document. All updates are
+// serialized through an internal mutex; estimates take no lock at all —
+// they load the current immutable View from an atomic pointer.
+type Stack struct {
+	opts Options
+	reg  *obs.Registry
+
+	mu        sync.Mutex
+	m         *stable.Maintainer
+	byOID     map[int]*xmltree.Node
+	seq       uint64
+	tier0     []*unit
+	segments  []*segment
+	base      *sketch.Sketch
+	baseElems int
+	epoch     uint64
+	deltaAbs  int // absorbed elements (unsigned) since the last compaction
+
+	view        atomic.Pointer[View]
+	compacting  atomic.Bool
+	compactDone chan struct{} // closed when the in-flight compaction publishes
+
+	mAbsorbs     *obs.Counter
+	mSeals       *obs.Counter
+	mCompactions *obs.Counter
+	mEstimates   *obs.Counter
+	gDelta       *obs.Gauge
+	gDepth       *obs.Gauge
+	wCompactLat  *obs.WindowedHistogram
+}
+
+// New builds a Stack over doc: a count-stable Maintainer plus an initial
+// compacted base. The document must not be mutated except through the
+// Stack.
+func New(doc *xmltree.Tree, opts Options) (*Stack, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, fmt.Errorf("tier: New: empty document")
+	}
+	opts = opts.withDefaults()
+	s := &Stack{
+		opts:  opts,
+		reg:   opts.Metrics,
+		m:     stable.NewMaintainer(doc),
+		byOID: make(map[int]*xmltree.Node, doc.Size()),
+	}
+	doc.PreOrder(func(n *xmltree.Node) { s.byOID[n.OID] = n })
+	s.mAbsorbs = s.reg.Counter("tier.absorbs")
+	s.mSeals = s.reg.Counter("tier.seals")
+	s.mCompactions = s.reg.Counter("tier.compactions")
+	s.mEstimates = s.reg.Counter("tier.estimates")
+	s.gDelta = s.reg.Gauge("tier.delta_elems")
+	s.gDepth = s.reg.Gauge("tier.depth")
+	s.wCompactLat = s.reg.Windowed("tier.compaction.latency_seconds")
+
+	s.base = CompactSketch(s.m.CanonicalSynopsis(), opts.BudgetBytes, opts.Workers, s.reg)
+	s.baseElems = doc.Size()
+	s.publishLocked() // no concurrency yet; lock not needed but harmless to reuse
+	return s, nil
+}
+
+// Doc returns the maintained document. Callers must not mutate it.
+func (s *Stack) Doc() *xmltree.Tree { return s.m.Doc() }
+
+// View returns the current immutable base+delta view. The returned value is
+// never mutated; successive calls may return different views.
+func (s *Stack) View() *View { return s.view.Load() }
+
+// Compacting reports whether a background compaction is in flight.
+func (s *Stack) Compacting() bool { return s.compacting.Load() }
+
+// Insert absorbs a subtree insertion: proto is cloned as a new child of the
+// element with OID parentOID. Returns the OID of the adopted subtree root.
+func (s *Stack) Insert(parentOID int, proto *xmltree.Tree) (int, error) {
+	if proto == nil || proto.Root == nil {
+		return 0, fmt.Errorf("tier: Insert: empty subtree")
+	}
+	s.mu.Lock()
+	parent := s.byOID[parentOID]
+	if parent == nil {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("tier: Insert: unknown parent OID %d", parentOID)
+	}
+	spineLabels := s.spineLabelsLocked(parent)
+	spineOIDs := s.spineOIDsLocked(parent)
+	root, err := s.m.InsertSubtree(parent, proto)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	var register func(n *xmltree.Node)
+	register = func(n *xmltree.Node) {
+		s.byOID[n.OID] = n
+		for _, c := range n.Children {
+			register(c)
+		}
+	}
+	register(root)
+	s.seq++
+	u := newUnit(s.seq, +1, spineLabels, spineOIDs, root)
+	run := s.absorbLocked(u)
+	s.mu.Unlock()
+	if run != nil {
+		run()
+	}
+	return root.OID, nil
+}
+
+// Delete absorbs a subtree deletion by OID. The document root cannot be
+// deleted.
+func (s *Stack) Delete(oid int) error {
+	s.mu.Lock()
+	victim := s.byOID[oid]
+	if victim == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("tier: Delete: unknown OID %d", oid)
+	}
+	parent := s.m.Parent(victim)
+	if parent == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("tier: Delete: cannot delete the document root")
+	}
+	spineLabels := s.spineLabelsLocked(parent)
+	spineOIDs := s.spineOIDsLocked(parent)
+	s.seq++
+	u := newUnit(s.seq, -1, spineLabels, spineOIDs, victim)
+	if err := s.m.DeleteSubtree(victim); err != nil {
+		s.seq--
+		s.mu.Unlock()
+		return err
+	}
+	var deregister func(n *xmltree.Node)
+	deregister = func(n *xmltree.Node) {
+		delete(s.byOID, n.OID)
+		for _, c := range n.Children {
+			deregister(c)
+		}
+	}
+	deregister(victim)
+	run := s.absorbLocked(u)
+	s.mu.Unlock()
+	if run != nil {
+		run()
+	}
+	return nil
+}
+
+// EstimateContext answers q over the current view; see View.EstimateContext.
+func (s *Stack) EstimateContext(ctx context.Context, q *query.Query, opts eval.Options) (*eval.Result, float64, Info) {
+	s.mEstimates.Inc()
+	return s.View().EstimateContext(ctx, q, opts)
+}
+
+// Compact folds every delta tier absorbed before the call into the base
+// and waits for the publish; a compaction already in flight is waited out
+// first (its snapshot may predate recent absorbs, so another round runs).
+// Absorbs issued concurrently with Compact may leave fresh tiers behind.
+func (s *Stack) Compact() {
+	for {
+		s.mu.Lock()
+		if s.compacting.Load() {
+			ch := s.compactDone
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		if len(s.segments) == 0 && len(s.tier0) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		run := s.startCompactionLocked()
+		ch := s.compactDone
+		s.mu.Unlock()
+		if run != nil {
+			run()
+		}
+		<-ch
+	}
+}
+
+// absorbLocked records a freshly built unit, reseals/publishes, and decides
+// whether to start a compaction. The returned thunk is non-nil only in
+// Synchronous mode; the caller must invoke it after releasing the lock.
+func (s *Stack) absorbLocked(u *unit) func() {
+	s.tier0 = append(s.tier0, u)
+	s.deltaAbs += u.elems
+	s.mAbsorbs.Inc()
+	if len(s.tier0) >= s.opts.SealUnits {
+		s.sealLocked()
+	}
+	s.publishLocked()
+	if s.compacting.Load() {
+		return nil
+	}
+	if s.deltaAbs < s.opts.MinCompactElems {
+		return nil
+	}
+	if float64(s.deltaAbs) < s.opts.CompactFraction*float64(s.baseElems) {
+		return nil
+	}
+	return s.startCompactionLocked()
+}
+
+// sealLocked folds the unsealed tier-0 units into one merged segment.
+func (s *Stack) sealLocked() {
+	if len(s.tier0) == 0 {
+		return
+	}
+	s.segments = append(s.segments, newSegment(s.tier0))
+	s.tier0 = nil
+	s.mSeals.Inc()
+}
+
+// startCompactionLocked seals the open tier, snapshots the maintained
+// summary, and schedules the rebuild. In Synchronous mode the returned
+// thunk runs the compaction; otherwise it runs on a background goroutine
+// and nil is returned. Either way compactDone is closed at publish.
+func (s *Stack) startCompactionLocked() func() {
+	s.sealLocked()
+	boundary := s.seq
+	canon := s.m.CanonicalSynopsis()
+	elems := s.m.Doc().Size()
+	s.compacting.Store(true)
+	done := make(chan struct{})
+	s.compactDone = done
+	run := func() {
+		defer close(done)
+		s.runCompaction(canon, elems, boundary)
+	}
+	if s.opts.Synchronous {
+		return run
+	}
+	go run() //lint:nondet compaction runs off the query path; its product is the deterministic CompactSketch output
+	return nil
+}
+
+// runCompaction builds a fresh base from the snapshot and publishes it,
+// dropping every delta segment the snapshot covers. Queries keep hitting
+// the previous view until the single atomic store below.
+func (s *Stack) runCompaction(canon *stable.Synopsis, elems int, boundary uint64) {
+	start := time.Now()
+	if d := s.opts.CompactDelay; d > 0 {
+		time.Sleep(d)
+	}
+	base := CompactSketch(canon, s.opts.BudgetBytes, s.opts.Workers, s.reg)
+	s.mu.Lock()
+	keep := s.segments[:0:0]
+	for _, seg := range s.segments {
+		if seg.maxSeq > boundary {
+			keep = append(keep, seg)
+		}
+	}
+	s.segments = keep
+	s.base = base
+	s.baseElems = elems
+	s.epoch++
+	s.deltaAbs = 0
+	for _, seg := range s.segments {
+		s.deltaAbs += seg.absElems
+	}
+	for _, u := range s.tier0 {
+		s.deltaAbs += u.elems
+	}
+	s.publishLocked()
+	s.compacting.Store(false)
+	s.mu.Unlock()
+	s.mCompactions.Inc()
+	s.wCompactLat.Observe(time.Since(start).Seconds())
+}
+
+// publishLocked swaps in a fresh immutable View of the current state.
+func (s *Stack) publishLocked() {
+	v := &View{
+		Base:      s.base,
+		BaseElems: s.baseElems,
+		Elems:     s.m.Doc().Size(),
+		Epoch:     s.epoch,
+		Seq:       s.seq,
+		segments:  append([]*segment(nil), s.segments...),
+		units:     append([]*unit(nil), s.tier0...),
+	}
+	s.view.Store(v)
+	s.gDelta.Set(int64(s.deltaAbs))
+	depth := int64(1 + len(s.segments))
+	if len(s.tier0) > 0 {
+		depth++
+	}
+	s.gDepth.Set(depth)
+}
+
+// spineLabelsLocked returns the labels of the path document root .. n.
+func (s *Stack) spineLabelsLocked(n *xmltree.Node) []string {
+	var rev []string
+	for cur := n; cur != nil; cur = s.m.Parent(cur) {
+		rev = append(rev, cur.Label)
+	}
+	out := make([]string, len(rev))
+	for i, l := range rev {
+		out[len(rev)-1-i] = l
+	}
+	return out
+}
+
+// spineOIDsLocked returns the OIDs of the path document root .. n.
+func (s *Stack) spineOIDsLocked(n *xmltree.Node) []int {
+	var rev []int
+	for cur := n; cur != nil; cur = s.m.Parent(cur) {
+		rev = append(rev, cur.OID)
+	}
+	out := make([]int, len(rev))
+	for i, oid := range rev {
+		out[len(rev)-1-i] = oid
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package tier
+
+import (
+	"testing"
+
+	"treesketch/internal/eval"
+	"treesketch/internal/obs"
+	"treesketch/internal/query"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+func testOpts() Options {
+	return Options{
+		BudgetBytes: 1 << 16, // roomy: base stays count-stable on tiny docs
+		Synchronous: true,
+		Metrics:     obs.NewRegistry(),
+	}
+}
+
+func mustStack(t *testing.T, compact string, opts Options) *Stack {
+	t.Helper()
+	st, err := New(xmltree.MustCompact(compact), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func mustQuery(t *testing.T, s string) *query.Query {
+	t.Helper()
+	q, err := query.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestStackValidation(t *testing.T) {
+	if _, err := New(nil, testOpts()); err == nil {
+		t.Fatal("accepted nil document")
+	}
+	st := mustStack(t, "r(a(b),c)", testOpts())
+	if _, err := st.Insert(9999, xmltree.MustCompact("x")); err == nil {
+		t.Fatal("accepted unknown parent OID")
+	}
+	if err := st.Delete(9999); err == nil {
+		t.Fatal("accepted unknown victim OID")
+	}
+	if err := st.Delete(st.Doc().Root.OID); err == nil {
+		t.Fatal("accepted root deletion")
+	}
+	if _, err := st.Insert(st.Doc().Root.OID, xmltree.NewTree()); err == nil {
+		t.Fatal("accepted empty subtree")
+	}
+}
+
+func TestStackAbsorbAndConservation(t *testing.T) {
+	st := mustStack(t, "r(a(b,b),a(b),c)", testOpts())
+	v := st.View()
+	if v.Elems != 7 || v.BaseElems != 7 || v.Tiers() != 0 {
+		t.Fatalf("initial view: elems=%d base=%d tiers=%d", v.Elems, v.BaseElems, v.Tiers())
+	}
+
+	oid, err := st.Insert(st.Doc().Root.OID, xmltree.MustCompact("a(b,b,b)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = st.View()
+	if v.Elems != 11 || v.DeltaElems() != 4 || v.Tiers() == 0 {
+		t.Fatalf("after insert: elems=%d delta=%d tiers=%d", v.Elems, v.DeltaElems(), v.Tiers())
+	}
+	if err := v.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := st.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	v = st.View()
+	if v.Elems != 7 || v.DeltaElems() != 0 {
+		t.Fatalf("after delete: elems=%d delta=%d", v.Elems, v.DeltaElems())
+	}
+	if err := v.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Doc().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStackDeltaEstimateExactOnChainInsert checks the spine-subtraction
+// arithmetic on a case where the delta must be exact: a count-stable base
+// and an inserted subtree whose matches never pair with off-spine base
+// elements.
+func TestStackDeltaEstimateExactOnChainInsert(t *testing.T) {
+	st := mustStack(t, "r(a(b),a(b))", testOpts())
+	q := mustQuery(t, "//a/b")
+	_, got, info := st.EstimateContext(t.Context(), q, eval.Options{})
+	if got != 2 {
+		t.Fatalf("pre-update estimate %v, want 2 (info %+v)", got, info)
+	}
+	if _, err := st.Insert(st.Doc().Root.OID, xmltree.MustCompact("a(b,b)")); err != nil {
+		t.Fatal(err)
+	}
+	_, got, info = st.EstimateContext(t.Context(), q, eval.Options{})
+	if got != 4 {
+		t.Fatalf("post-insert estimate %v, want 4 (base %v delta %v)", got, info.BaseSelectivity, info.Delta)
+	}
+	// The base alone must still answer 2: it has not been compacted.
+	if info.BaseSelectivity != 2 || info.Delta != 2 {
+		t.Fatalf("contributions base=%v delta=%v, want 2+2", info.BaseSelectivity, info.Delta)
+	}
+}
+
+func TestStackSealing(t *testing.T) {
+	opts := testOpts()
+	opts.SealUnits = 3
+	// Keep compaction out of the way; this test is about seals.
+	opts.MinCompactElems = 1 << 30
+	st := mustStack(t, "r(a(b),a(b))", opts)
+	rng := testRNG(7)
+	for i := 0; i < 10; i++ {
+		randomOp(t, st, &rng)
+		if err := st.View().CheckConservation(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	v := st.View()
+	if len(v.segments) == 0 {
+		t.Fatal("no segments sealed after 10 ops with SealUnits=3")
+	}
+	if len(v.units) >= opts.SealUnits {
+		t.Fatalf("unsealed tier holds %d units, seal bound %d", len(v.units), opts.SealUnits)
+	}
+	if got := st.reg.Counter("tier.seals").Value(); got == 0 {
+		t.Fatal("tier.seals not incremented")
+	}
+}
+
+// TestStackCompactionMatchesFreshStack is the core determinism identity:
+// after a full compaction, the stack's view fingerprints identically to a
+// brand-new stack built from the final document state.
+func TestStackCompactionMatchesFreshStack(t *testing.T) {
+	opts := testOpts()
+	opts.BudgetBytes = 2048 // force real TSBuild compression
+	st := mustStack(t, "r(a(b,b),a(b),c(d),c(d,d))", opts)
+	rng := testRNG(42)
+	for i := 0; i < 25; i++ {
+		randomOp(t, st, &rng)
+	}
+	st.Compact()
+	v := st.View()
+	if v.Tiers() != 0 || v.DeltaElems() != 0 {
+		t.Fatalf("post-compaction view still has %d tiers, delta %d", v.Tiers(), v.DeltaElems())
+	}
+	if err := v.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := xmltree.NewTree()
+	fresh.Root = copyInto(fresh, st.Doc().Root)
+	oracle := CompactSketch(stable.Build(fresh), opts.BudgetBytes, 0, obs.NewRegistry())
+	if got, want := v.Base.Fingerprint(), oracle.Fingerprint(); got != want {
+		t.Fatalf("compacted base fp %016x, from-scratch rebuild fp %016x", got, want)
+	}
+
+	fst, err := New(fresh, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v.Fingerprint(), fst.View().Fingerprint(); got != want {
+		t.Fatalf("view fp %016x, fresh-stack fp %016x", got, want)
+	}
+	if got := st.reg.Counter("tier.compactions").Value(); got == 0 {
+		t.Fatal("tier.compactions not incremented")
+	}
+}
+
+// TestStackFingerprintAcrossWorkers replays one script on stacks with
+// different TSBuild worker counts: every published view must fingerprint
+// identically, which is the property the CI GOMAXPROCS diff asserts.
+func TestStackFingerprintAcrossWorkers(t *testing.T) {
+	build := func(workers int) *Stack {
+		opts := testOpts()
+		opts.BudgetBytes = 2048
+		opts.Workers = workers
+		opts.MinCompactElems = 48 // compact eagerly so the script crosses epochs
+		opts.CompactFraction = 0.01
+		return mustStack(t, "r(a(b,b),a(b),c(d),c(d,d))", opts)
+	}
+	a, b := build(1), build(4)
+	rngA, rngB := testRNG(3), testRNG(3)
+	for i := 0; i < 30; i++ {
+		randomOp(t, a, &rngA)
+		randomOp(t, b, &rngB)
+		if fa, fb := a.View().Fingerprint(), b.View().Fingerprint(); fa != fb {
+			t.Fatalf("op %d: workers=1 fp %016x, workers=4 fp %016x", i, fa, fb)
+		}
+	}
+	a.Compact()
+	b.Compact()
+	if fa, fb := a.View().Fingerprint(), b.View().Fingerprint(); fa != fb {
+		t.Fatalf("post-compaction: workers=1 fp %016x, workers=4 fp %016x", fa, fb)
+	}
+}
+
+func TestStackTelemetryNamesClean(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := testOpts()
+	opts.Metrics = reg
+	st := mustStack(t, "r(a(b))", opts)
+	if _, err := st.Insert(st.Doc().Root.OID, xmltree.MustCompact("a(b)")); err != nil {
+		t.Fatal(err)
+	}
+	st.Compact()
+	if errs := reg.NameErrors(); len(errs) != 0 {
+		t.Fatalf("metric name errors: %v", errs)
+	}
+}

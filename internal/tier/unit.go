@@ -1,0 +1,173 @@
+package tier
+
+import (
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+// unit is one absorbed update in spine-relative form: two tiny exact
+// sketches (bare ancestor spine, and spine with the subtree grafted on)
+// whose estimate difference is the update's contribution to a query.
+// Units are immutable once built.
+type unit struct {
+	seq   uint64
+	sign  int // +1 insert, -1 delete
+	elems int // subtree element count, always > 0
+
+	spineLabels []string      // labels of document root .. parent
+	spineOIDs   []int         // OIDs of document root .. parent (segment merge keys)
+	sub         *xmltree.Node // detached copy of the subtree, in a scratch tree
+
+	full  *sketch.Sketch // exact sketch of spine + subtree
+	spine *sketch.Sketch // exact sketch of the bare spine
+}
+
+// segment is a sealed tier: the units of one seal merged into at most two
+// forest sketches per sign, with spines shared by ancestor OID so repeated
+// updates under the same parent do not replicate the ancestor chain.
+// Segments are immutable once built.
+type segment struct {
+	maxSeq   uint64
+	elems    int // signed element delta
+	absElems int // unsigned absorbed element total
+	units    int
+
+	pos, posSpine *sketch.Sketch // insert side; nil when no inserts
+	neg, negSpine *sketch.Sketch // delete side; nil when no deletes
+}
+
+// newUnit snapshots an update as a unit. src is the subtree root in the
+// live document (for an insert, the just-adopted root; for a delete, the
+// victim before detachment); it is deep-copied, so the unit stays valid
+// after the document moves on.
+func newUnit(seq uint64, sign int, spineLabels []string, spineOIDs []int, src *xmltree.Node) *unit {
+	scratch := xmltree.NewTree()
+	sub := copyInto(scratch, src)
+
+	spineTree := chainTree(spineLabels)
+	full := chainTree(spineLabels)
+	graft(full, deepestChild(full.Root), copyInto(full, src))
+
+	return &unit{
+		seq:         seq,
+		sign:        sign,
+		elems:       countNodes(sub),
+		spineLabels: spineLabels,
+		spineOIDs:   spineOIDs,
+		sub:         sub,
+		full:        sketch.FromStable(stable.Build(full)),
+		spine:       sketch.FromStable(stable.Build(spineTree)),
+	}
+}
+
+// newSegment merges units (in absorb order) into one sealed segment.
+func newSegment(units []*unit) *segment {
+	seg := &segment{units: len(units)}
+	type side struct {
+		full  *xmltree.Tree
+		spine *xmltree.Tree
+		// byOID maps a live-document ancestor OID to its copy in each
+		// forest, so units sharing ancestors share spine nodes.
+		fullByOID  map[int]*xmltree.Node
+		spineByOID map[int]*xmltree.Node
+	}
+	sides := map[int]*side{}
+	ensure := func(sign int) *side {
+		sd := sides[sign]
+		if sd == nil {
+			sd = &side{
+				full: xmltree.NewTree(), spine: xmltree.NewTree(),
+				fullByOID: map[int]*xmltree.Node{}, spineByOID: map[int]*xmltree.Node{},
+			}
+			sides[sign] = sd
+		}
+		return sd
+	}
+	chain := func(t *xmltree.Tree, byOID map[int]*xmltree.Node, u *unit) *xmltree.Node {
+		var parent *xmltree.Node
+		for i, oid := range u.spineOIDs {
+			n := byOID[oid]
+			if n == nil {
+				n = t.NewNode(u.spineLabels[i])
+				byOID[oid] = n
+				if parent == nil {
+					t.Root = n
+				} else {
+					parent.Children = append(parent.Children, n)
+				}
+			}
+			parent = n
+		}
+		return parent
+	}
+	for _, u := range units {
+		seg.elems += u.sign * u.elems
+		seg.absElems += u.elems
+		if u.seq > seg.maxSeq {
+			seg.maxSeq = u.seq
+		}
+		sd := ensure(u.sign)
+		graft(sd.full, chain(sd.full, sd.fullByOID, u), copyInto(sd.full, u.sub))
+		chain(sd.spine, sd.spineByOID, u)
+	}
+	if sd := sides[+1]; sd != nil {
+		seg.pos = sketch.FromStable(stable.Build(sd.full))
+		seg.posSpine = sketch.FromStable(stable.Build(sd.spine))
+	}
+	if sd := sides[-1]; sd != nil {
+		seg.neg = sketch.FromStable(stable.Build(sd.full))
+		seg.negSpine = sketch.FromStable(stable.Build(sd.spine))
+	}
+	return seg
+}
+
+// chainTree builds a single root-to-leaf chain with the given labels.
+func chainTree(labels []string) *xmltree.Tree {
+	t := xmltree.NewTree()
+	var parent *xmltree.Node
+	for _, l := range labels {
+		n := t.NewNode(l)
+		if parent == nil {
+			t.Root = n
+		} else {
+			parent.Children = append(parent.Children, n)
+		}
+		parent = n
+	}
+	return t
+}
+
+// deepestChild follows first children to the end of a chain.
+func deepestChild(n *xmltree.Node) *xmltree.Node {
+	for len(n.Children) > 0 {
+		n = n.Children[0]
+	}
+	return n
+}
+
+// graft attaches an already-copied subtree under parent. The subtree's
+// nodes must have been created through t.NewNode (see copyInto) so the
+// tree's size bookkeeping is already right.
+func graft(t *xmltree.Tree, parent, sub *xmltree.Node) {
+	_ = t
+	parent.Children = append(parent.Children, sub)
+}
+
+// copyInto deep-copies the subtree rooted at src into t and returns the
+// copy's root (not yet attached to anything).
+func copyInto(t *xmltree.Tree, src *xmltree.Node) *xmltree.Node {
+	n := t.NewNode(src.Label)
+	for _, c := range src.Children {
+		n.Children = append(n.Children, copyInto(t, c))
+	}
+	return n
+}
+
+func countNodes(n *xmltree.Node) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}

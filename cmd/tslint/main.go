@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	tslint [-json] [-list] [patterns...]
+//	tslint [-json] [-sarif] [-baseline file] [-list] [patterns...]
 //
 // Patterns follow the usual go tool shape: "./..." (the default) checks the
 // whole module, "./internal/eval/..." restricts reported findings to that
 // subtree. The module root is located by walking up from the working
-// directory to the nearest go.mod. Exit status is 0 when clean, 1 when
-// findings were reported, and 2 on a load or usage error.
+// directory to the nearest go.mod. -sarif emits a SARIF 2.1.0 log for code
+// scanning upload; -baseline filters findings through a committed allowlist
+// (see internal/lint.Baseline) so CI gates only on new violations. Exit
+// status is 0 when clean, 1 when findings were reported, and 2 on a load or
+// usage error.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"treesketch/internal/lint"
@@ -25,16 +29,24 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings to filter through")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tslint [-json] [-list] [patterns...]\n")
+		fmt.Fprintf(os.Stderr, "usage: tslint [-json] [-sarif] [-baseline file] [-list] [patterns...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "tslint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
-		for _, a := range analyzers {
+		sorted := append([]*lint.Analyzer(nil), analyzers...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, a := range sorted {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
@@ -54,7 +66,26 @@ func main() {
 	findings := lint.RunAll(prog, analyzers)
 	findings = filterByPatterns(findings, flag.Args())
 
-	if *jsonOut {
+	if *baselinePath != "" {
+		baseline, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tslint:", err)
+			os.Exit(2)
+		}
+		var stale []lint.BaselineEntry
+		findings, stale = baseline.Apply(findings)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "tslint: stale baseline entry: [%s] %s: %s (delete it from %s)\n",
+				e.Analyzer, e.File, e.Message, *baselinePath)
+		}
+	}
+
+	if *sarifOut {
+		if err := lint.WriteSARIF(os.Stdout, analyzers, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "tslint:", err)
+			os.Exit(2)
+		}
+	} else if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -70,7 +101,7 @@ func main() {
 		}
 	}
 	if len(findings) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "tslint: %d finding(s)\n", len(findings))
 		}
 		os.Exit(1)

@@ -83,16 +83,61 @@ func ApproxContext(ctx context.Context, sk *sketch.Sketch, q *query.Query, opts 
 }
 
 // approxWith exposes the two refinements independently for tests.
-func approxWith(ctx context.Context, sk *sketch.Sketch, q *query.Query, opts Options, conditioning, twoMoment bool) *Result {
+//
+// The batch path is all-or-nothing: a half-built memo phase is not a usable
+// synopsis, so the enumeration polls ctx under the tickCtx work budget and
+// aborts via the same ctxCanceled panic sentinel the exact evaluator uses,
+// translated here into a Canceled result. A Background context costs one
+// Err() read per ctxCheckEvery work units and can never fire, so batch
+// callers and benchmarks see identical floats (polls compute nothing).
+func approxWith(ctx context.Context, sk *sketch.Sketch, q *query.Query, opts Options, conditioning, twoMoment bool) (res *Result) {
 	a := newApproxer(ctx, sk, q, opts, conditioning, twoMoment)
+	a.ctx = ctx
 	span := a.reg.StartSpan("eval.approx.query")
 	a.reg.Counter("eval.approx.queries").Inc()
-	res := a.run()
-	// Keep the full latency distribution alongside the phase timer so
-	// snapshots can report p50/p95/p99 (see Histogram.Quantile).
-	a.reg.Histogram("eval.approx.latency_seconds").Observe(span.End().Seconds())
-	a.flush(res)
-	return res
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(ctxCanceled); !ok {
+				panic(p)
+			}
+			res = &Result{Canceled: true}
+			a.reg.Counter("eval.approx.canceled").Inc()
+		}
+		// Keep the full latency distribution alongside the phase timer so
+		// snapshots can report p50/p95/p99 (see Histogram.Quantile); canceled
+		// runs record the time they burned before aborting.
+		a.reg.Histogram("eval.approx.latency_seconds").Observe(span.End().Seconds())
+		a.flush(res)
+	}()
+	return a.run()
+}
+
+// tickCtx charges n units of enumeration work (synopsis edges walked, memo
+// slots filled, terms folded) against the poll budget and reads ctx.Err()
+// once it is spent; a canceled context aborts the evaluation by panicking
+// with the shared ctxCanceled sentinel, recovered in approxWith. Inert (one
+// nil check) when the evaluation has no cancelable context. The very first
+// charge polls immediately so an already-expired deadline aborts before any
+// synopsis walk.
+func (a *approxer) tickCtx(n int) {
+	if a.ctx == nil {
+		return
+	}
+	first := a.ctxTick == 0
+	a.ctxTick += uint(n)
+	if !first && a.ctxTick < ctxCheckEvery {
+		return
+	}
+	a.ctxTick = 1
+	if a.ctx.Err() != nil {
+		panic(ctxCanceled{})
+	}
+}
+
+// checkCtx charges the minimal one-unit tick; enumeration entry points call
+// it so even scan-free query shapes keep polling.
+func (a *approxer) checkCtx() {
+	a.tickCtx(1)
 }
 
 // newApproxer builds the shared evaluation state for both the batch path
@@ -171,7 +216,19 @@ func (a *approxer) flush(res *Result) {
 }
 
 type approxer struct {
-	tr     *obs.Trace // request trace; nil (inert) for untraced callers
+	tr *obs.Trace // request trace; nil (inert) for untraced callers
+
+	// ctx is the evaluation's cancellation signal, armed only on the batch
+	// path (approxWith). ctxTick accumulates enumeration work (synopsis
+	// edges walked, memo slots filled, terms folded) and rate-limits the
+	// Err reads to one per ctxCheckEvery units, the same discipline as the
+	// exact evaluator. The top-k path deliberately leaves ctx nil (every
+	// poll then a single predictable branch): it polls ctx.Err() between
+	// expansions and answers with an honest partial result instead of
+	// aborting, and its per-expansion work is already pool-bounded.
+	ctx     context.Context
+	ctxTick uint
+
 	sk     *sketch.Sketch
 	q      *query.Query
 	qnodes []*query.Node
@@ -421,6 +478,7 @@ func (a *approxer) addResultNode(src, qi int, label string) int {
 // processEdge computes the bindings B(qc, uQ) (Figure 7 lines 4-13) for one
 // result node and one query edge.
 func (a *approxer) processEdge(uQ int, edge *query.Edge) {
+	a.checkCtx()
 	rn := a.res.Nodes[uQ]
 	a.applyEdgeTerms(rn, edge, a.edgeTerms(rn.Src, edge))
 }
@@ -431,6 +489,7 @@ func (a *approxer) processEdge(uQ int, edge *query.Edge) {
 func (a *approxer) applyEdgeTerms(rn *RNode, edge *query.Edge, terms []termK) {
 	ci := a.qidx[edge.Child]
 	for _, tk := range terms {
+		a.tickCtx(1)
 		vQ := a.addResultNode(tk.term, ci, a.sk.Nodes[tk.term].Label)
 		rn.addK(vQ, tk.k)
 	}
@@ -462,6 +521,7 @@ func (a *approxer) edgeTerms(src int, edge *query.Edge) []termK {
 		})
 	} else {
 		for _, e := range a.embeddings(src, edge.Path, false) {
+			a.tickCtx(1)
 			k := a.evalEmbed(steps, src, e)
 			if k > 0 {
 				perTerm[e.nodes[len(e.nodes)-1]] += k
@@ -634,6 +694,7 @@ func (a *approxer) enumFast(from int, p *query.Path, needExist bool, out *[]embe
 					continue
 				}
 				work--
+				a.tickCtx(1)
 				push(e.Child)
 				stepAt = append(stepAt, len(nodes)-1)
 				rec(e.Child, si+1, extend(prod, e, cur))
@@ -665,6 +726,7 @@ func (a *approxer) enumFast(from int, p *query.Path, needExist bool, out *[]embe
 				continue
 			}
 			work--
+			a.tickCtx(1)
 			next := extend(prod, e, cur)
 			push(e.Child)
 			if land {
@@ -766,6 +828,7 @@ func (a *approxer) embeddingsRef(from int, steps []query.Step) []embedding {
 					continue
 				}
 				work--
+				a.tickCtx(1)
 				nodes = append(nodes, e.Child)
 				stepAt = append(stepAt, len(nodes)-1)
 				rec(e.Child, si+1)
@@ -794,6 +857,7 @@ func (a *approxer) embeddingsRef(from int, steps []query.Step) []embedding {
 				continue
 			}
 			work--
+			a.tickCtx(1)
 			nodes = append(nodes, e.Child)
 			if a.sk.Nodes[e.Child].Label == step.Label {
 				stepAt = append(stepAt, len(nodes)-1)
@@ -892,6 +956,7 @@ func (a *approxer) bestAssignmentSel(steps []query.Step, e embedding) float64 {
 	}
 	best := 0.0
 	for _, stepAt := range e.stepAts {
+		a.checkCtx()
 		sel := 1.0
 		for si := range steps {
 			at := e.nodes[stepAt[si]]
@@ -953,6 +1018,7 @@ func (a *approxer) branchSel(from int, pred *query.Path) float64 {
 		return s
 	}
 	a.mSelMisses.Inc()
+	a.checkCtx()
 	var s float64
 	if a.twoMoment {
 		var sum float64

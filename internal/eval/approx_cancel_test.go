@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"treesketch/internal/obs"
+	"treesketch/internal/query"
+	"treesketch/internal/sketch"
+	"treesketch/internal/stable"
+	"treesketch/internal/xmltree"
+)
+
+// TestApproxContextCanceled pins the batch approximate evaluator's
+// cancellation contract (the ctxpoll analyzer's subject): an expired
+// context stops the enumeration with a bare Canceled result and a counter
+// increment, and a live background context is untouched — so a serving
+// deadline actually frees the admission slot a pathological estimate is
+// pinning.
+func TestApproxContextCanceled(t *testing.T) {
+	doc := xmltree.MustCompact("r(a(b(c),b(d)),a(b(c)),a(e))")
+	sk := sketch.FromStable(stable.Build(doc))
+	q := query.MustParse("//a{//b?,//c?}")
+
+	reg := obs.NewRegistry()
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := ApproxContext(expired, sk, q, Options{Metrics: reg})
+	if !res.Canceled {
+		t.Fatal("expired context did not cancel the batch approximate evaluation")
+	}
+	if len(res.Nodes) != 0 {
+		t.Fatalf("canceled result carries %d nodes; it must be a bare placeholder", len(res.Nodes))
+	}
+	if got := reg.Counter("eval.approx.canceled").Value(); got != 1 {
+		t.Fatalf("eval.approx.canceled = %d, want 1", got)
+	}
+
+	live := ApproxContext(context.Background(), sk, q, Options{Metrics: reg})
+	if live.Canceled || live.Empty || len(live.Nodes) == 0 {
+		t.Fatalf("background context result = %+v, want a live synopsis", live)
+	}
+}
+
+// TestApproxContextCanceledMidEnumeration pins the polling cadence: on a
+// synopsis wide enough that the enumeration's cost lives in edge scans, the
+// deadline poll count must scale with traversal work (work-proportional
+// tickCtx), and a context expiring mid-enumeration must cancel the
+// evaluation. It also pins that arming the poll changes no computed floats:
+// the never-expiring polled run fingerprints identically to the background
+// run.
+func TestApproxContextCanceledMidEnumeration(t *testing.T) {
+	// Distinct section labels keep the label-path clusters from merging, so
+	// the synopsis itself is wide and the descendant-axis enumerations scan
+	// thousands of synopsis edges.
+	var sb strings.Builder
+	sb.WriteString("r(")
+	for i := 0; i < 1500; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString("s" + strconv.Itoa(i) + "(a(b(c),b(d)))")
+	}
+	sb.WriteString(")")
+	sk := sketch.FromStable(stable.Build(xmltree.MustCompact(sb.String())))
+	q := query.MustParse("//a[//c]{//b?,//d?}")
+
+	polls := 0
+	res := ApproxContext(countdownCtx{Context: context.Background(), polls: &polls}, sk, q, Options{})
+	if res.Canceled || res.Empty || len(res.Nodes) == 0 {
+		t.Fatalf("live evaluation = %+v, want a real synopsis", res)
+	}
+	if polls < 3 {
+		t.Fatalf("enumeration over %d synopsis nodes polled ctx only %d times; polling must track traversal work", len(sk.Nodes), polls)
+	}
+	background := Approx(sk, q, Options{})
+	if res.Fingerprint() != background.Fingerprint() {
+		t.Fatal("arming the ctx poll changed the computed result fingerprint")
+	}
+
+	mid := polls / 2
+	polls = 0
+	res = ApproxContext(countdownCtx{Context: context.Background(), polls: &polls, limit: mid}, sk, q, Options{})
+	if !res.Canceled {
+		t.Fatalf("context expiring at poll %d did not cancel the evaluation", mid)
+	}
+}
+
+// TestTopKContextStaysGraceful pins the deliberate asymmetry: the streaming
+// top-k path never arms the tick-panic — a context expiring mid-stream
+// yields an honest partial (or empty-partial) result, never a Canceled
+// abort, because partial top-k output carries its own truncation bound.
+func TestTopKContextStaysGraceful(t *testing.T) {
+	doc := xmltree.MustCompact("r(a(b(c),b(d)),a(b(c)),a(e))")
+	sk := sketch.FromStable(stable.Build(doc))
+	q := query.MustParse("//a{//b?,//c?}")
+
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := ApproxContext(expired, sk, q, Options{Limit: 3})
+	if res.Canceled {
+		t.Fatal("top-k path reported Canceled; it must degrade to a partial result instead")
+	}
+	if res.TopK == nil {
+		t.Fatal("top-k result lost its TopK block under an expired context")
+	}
+}

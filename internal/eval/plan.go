@@ -129,6 +129,7 @@ func (a *approxer) canRec(tab []int8, steps []query.Step, node, si int) bool {
 		return v == 1
 	}
 	tab[slot] = 2
+	a.tickCtx(1)
 	step := &steps[si]
 	res := false
 	if u := a.sk.Nodes[node]; u != nil {
@@ -160,6 +161,7 @@ func (a *approxer) canDesc(tab []int8, steps []query.Step, node, si int) bool {
 		return v == 1
 	}
 	tab[slot] = 2
+	a.tickCtx(1)
 	step := &steps[si]
 	res := false
 	if u := a.sk.Nodes[node]; u != nil {

@@ -505,8 +505,15 @@ func computeMass(sk *sketch.Sketch, qnodes []*query.Node, qidx map[*query.Node]i
 		dm: make([][]float64, len(qnodes)),
 		pv: make(map[*query.Edge][]float64),
 	}
+	// The DP runs uncancelled by design: it is polynomial in the synopsis
+	// (itself capped by the build budget) and query size, computed once per
+	// (sketch, query) and shared across requests through massFor's cache —
+	// aborting one request's computation would poison the entry every later
+	// request wants.
+	//lint:ctxpoll mass DP is polynomial in the build-budget-capped synopsis and its result is cached across requests
 	for qi := len(qnodes) - 1; qi >= 0; qi-- {
 		row := make([]float64, n)
+		//lint:ctxpoll per-edge pathMass sweeps are bounded by |steps| passes over the capped synopsis
 		for _, edge := range qnodes[qi].Edges {
 			child := qidx[edge.Child]
 			tv := make([]float64, n)

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is the committed allowlist of known findings (lint.baseline.json
+// at the module root). CI gates on "no findings outside the baseline", so a
+// new violation fails the build while a pre-existing, justified one does
+// not. Entries match findings by analyzer, module-relative file, and exact
+// message — deliberately not by line, so unrelated edits shifting a file do
+// not churn the baseline. Every entry carries a mandatory justification;
+// the in-source //lint: directives remain the preferred suppression (they
+// sit next to the code and are themselves linted), and the baseline exists
+// for the bootstrap window when a new analyzer lands against real debt.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	Analyzer      string `json:"analyzer"`
+	File          string `json:"file"`
+	Message       string `json:"message"`
+	Justification string `json:"justification"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads and validates a baseline file. A reason-less entry is
+// rejected outright: the baseline is an audited debt ledger, not a mute
+// button.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("lint: baseline %s: entry %d is missing analyzer, file, or message", path, i)
+		}
+		if e.Justification == "" {
+			return nil, fmt.Errorf("lint: baseline %s: entry %d (%s in %s) has no justification", path, i, e.Analyzer, e.File)
+		}
+	}
+	return &b, nil
+}
+
+// Apply splits findings into those not covered by the baseline (which
+// should fail the build) and reports the stale entries — baseline lines
+// whose finding no longer exists and which should be deleted so the ledger
+// tracks reality.
+func (b *Baseline) Apply(findings []Finding) (kept []Finding, stale []BaselineEntry) {
+	matched := make(map[string]bool, len(b.Entries))
+	covered := make(map[string]bool, len(b.Entries))
+	for _, e := range b.Entries {
+		covered[baselineKey(e.Analyzer, e.File, e.Message)] = true
+	}
+	for _, f := range findings {
+		key := baselineKey(f.Analyzer, f.File, f.Message)
+		if covered[key] {
+			matched[key] = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, e := range b.Entries {
+		if !matched[baselineKey(e.Analyzer, e.File, e.Message)] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}

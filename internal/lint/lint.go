@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -56,6 +57,9 @@ func Analyzers() []*Analyzer {
 		MetricNameAnalyzer,
 		NonDetAnalyzer,
 		FloatOrderAnalyzer,
+		PubMutAnalyzer,
+		CtxPollAnalyzer,
+		SpanFinishAnalyzer,
 	}
 }
 
@@ -187,4 +191,27 @@ func contains(list []string, s string) bool {
 // finding builds a Finding at pos with a formatted message.
 func finding(p *Program, pos token.Pos, format string, args ...any) Finding {
 	return Finding{Pos: p.Fset.Position(pos), Message: fmt.Sprintf(format, args...)}
+}
+
+// moduleFuncs indexes every module function declaration (with a body) by
+// its *types.Func object. Call-graph analyzers build their edges on top of
+// this shared index.
+func moduleFuncs(p *Program) map[*types.Func]*funcNode {
+	decls := make(map[*types.Func]*funcNode)
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[obj] = &funcNode{pkg: pkg, decl: fd}
+			}
+		}
+	}
+	return decls
 }

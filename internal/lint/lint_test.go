@@ -86,7 +86,7 @@ func collectWants(t *testing.T, root string) []*want {
 // `want` comments: every finding must be expected at its exact position,
 // and every expectation must be hit.
 func TestFixtures(t *testing.T) {
-	cases := []string{"mapiter", "epochguard", "metricname", "nondet", "floatorder"}
+	cases := []string{"mapiter", "epochguard", "metricname", "nondet", "floatorder", "pubmut", "ctxpoll", "spanfinish"}
 	for _, name := range cases {
 		t.Run(name, func(t *testing.T) {
 			a := analyzerByName(t, name)

@@ -107,9 +107,15 @@ func modulePath(gomod string) (string, error) {
 }
 
 // packageDirs walks the module tree collecting directories that hold
-// non-test Go files.
+// loadable (non-test, non-generated) Go files. The seen map — rather than a
+// last-element check — is what keeps a directory whose files sort around a
+// subdirectory entry (a.go, sub/, z.go: WalkDir yields the directory's
+// files in two runs) from being collected twice; a double-collected
+// directory used to load its package twice, double-counting every finding
+// and every //lint: suppression in it.
 func packageDirs(root string) ([]string, error) {
 	var dirs []string
+	seen := make(map[string]bool)
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -122,15 +128,46 @@ func packageDirs(root string) ([]string, error) {
 			}
 			return nil
 		}
-		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+		if loadableGoFile(filepath.Base(path)) {
 			dir := filepath.Dir(path)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			if !seen[dir] {
+				seen[dir] = true
 				dirs = append(dirs, dir)
 			}
 		}
 		return nil
 	})
 	return dirs, err
+}
+
+// loadableGoFile is the single source-file filter shared by packageDirs and
+// parseDir, so the directory collection and the per-directory parse cannot
+// disagree about what constitutes a package: non-test, non-hidden Go
+// sources. A directory holding only _test.go files therefore never becomes
+// a package at either layer.
+func loadableGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// generatedFile reports whether a parsed file carries the canonical
+// generated-code marker ("// Code generated ... DO NOT EDIT.") before its
+// package clause, per the convention in golang.org/s/generatedcode.
+// Generated sources (protobufs, stringers, //go:generate outputs) are not
+// hand-maintained, so project invariants are not enforceable on them and
+// the loader drops them before type-checking.
+func generatedFile(fset *token.FileSet, f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "// Code generated ") && strings.HasSuffix(c.Text, " DO NOT EDIT.") {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // parseDir parses the non-test Go files of one directory into a Package
@@ -152,13 +189,15 @@ func (p *Program) parseDir(dir string) (*Package, error) {
 	pkg := &Package{ImportPath: importPath, Dir: dir}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
-			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		if e.IsDir() || !loadableGoFile(name) {
 			continue
 		}
 		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if generatedFile(p.Fset, f) {
+			continue
 		}
 		if pkg.Name == "" {
 			pkg.Name = f.Name.Name
@@ -205,6 +244,11 @@ func (p *Program) typeCheckAll() error {
 			Defs:       make(map[*ast.Ident]types.Object),
 			Uses:       make(map[*ast.Ident]types.Object),
 			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			// Instances records each generic instantiation's type arguments;
+			// without it, analyzers resolving a use of an instantiated
+			// function or type see only the uninstantiated object and
+			// signature queries can mismatch.
+			Instances: make(map[*ast.Ident]types.Instance),
 		}
 		conf := types.Config{
 			Importer: imp,

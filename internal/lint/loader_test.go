@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestLoaderEdgeCases drives the loader over a fixture module built from
+// the directory shapes that have broken (or could break) package
+// collection: files interleaved around a subdirectory entry, _test.go-only
+// directories, generated-only directories, mixed-package directories,
+// underscore-prefixed directories, and generic code.
+func TestLoaderEdgeCases(t *testing.T) {
+	root := filepath.Join("testdata", "src", "loaderedge")
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", root, err)
+	}
+
+	wantPkgs := []struct {
+		path  string
+		name  string
+		files int
+	}{
+		{"fix/generics", "generics", 1},
+		{"fix/interleave", "interleave", 2},
+		{"fix/interleave/sub", "sub", 1},
+		{"fix/mixed", "mixed", 1},
+	}
+	if len(prog.Packages) != len(wantPkgs) {
+		var got []string
+		for _, pkg := range prog.Packages {
+			got = append(got, pkg.ImportPath)
+		}
+		t.Fatalf("loaded packages = %v, want %d packages", got, len(wantPkgs))
+	}
+	for i, want := range wantPkgs {
+		pkg := prog.Packages[i]
+		if pkg.ImportPath != want.path || pkg.Name != want.name || len(pkg.Files) != want.files {
+			t.Errorf("package[%d] = %s (name %s, %d files), want %s (name %s, %d files)",
+				i, pkg.ImportPath, pkg.Name, len(pkg.Files), want.path, want.name, want.files)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("package %s: type error: %v", pkg.ImportPath, terr)
+		}
+	}
+
+	// The interleaved directory (a.go, sub/, z.go) holds one bare //lint:
+	// directive; the seen-map dedupe in packageDirs is what keeps it from
+	// being loaded — and therefore counted — twice.
+	findings := RunAll(prog, Analyzers())
+	if len(findings) != 1 {
+		t.Fatalf("findings over loaderedge = %v, want exactly the one bare directive", findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "mapiter" || f.File != "interleave/a.go" || f.Line != 7 ||
+		!strings.Contains(f.Message, "requires a justification") {
+		t.Fatalf("bare-directive finding = %+v, want mapiter interleave/a.go:7 requires-a-justification", f)
+	}
+
+	// A second load must see the identical package list and findings:
+	// -list and -json output builds on this order.
+	again, err := Load(root)
+	if err != nil {
+		t.Fatalf("second Load: %v", err)
+	}
+	pathsOf := func(p *Program) []string {
+		var out []string
+		for _, pkg := range p.Packages {
+			out = append(out, pkg.ImportPath)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(pathsOf(prog), pathsOf(again)) {
+		t.Fatalf("package order differs across loads: %v vs %v", pathsOf(prog), pathsOf(again))
+	}
+	if !reflect.DeepEqual(findings, RunAll(again, Analyzers())) {
+		t.Fatal("findings differ across loads")
+	}
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFindingJSONSchemaStable pins the `tslint -json` wire format: the
+// bench tooling and CI scripts parse these exact field names, so a rename
+// here is a breaking change that must show up as a test failure, not as a
+// silently empty dashboard.
+func TestFindingJSONSchemaStable(t *testing.T) {
+	f := Finding{
+		Analyzer: "mapiter",
+		File:     "internal/tsbuild/cluster.go",
+		Line:     41,
+		Column:   2,
+		Message:  "map iteration order leaks",
+	}
+	got, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"analyzer":"mapiter","file":"internal/tsbuild/cluster.go","line":41,"column":2,"message":"map iteration order leaks"}`
+	if string(got) != want {
+		t.Fatalf("Finding JSON schema drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestWriteSARIF checks the SARIF log against the subset GitHub code
+// scanning requires, and that the writer is byte-deterministic.
+func TestWriteSARIF(t *testing.T) {
+	analyzers := Analyzers()
+	findings := []Finding{
+		{Analyzer: "ctxpoll", File: "internal/eval/approx.go", Line: 10, Column: 3, Message: "loop without poll"},
+		{Analyzer: "pubmut", File: "internal/serve/serve.go", Line: 7, Column: 1, Message: "post-publish write"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, analyzers, findings); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Fatalf("version %q schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "tslint" {
+		t.Fatalf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(analyzers) {
+		t.Fatalf("rules = %d, want one per analyzer (%d)", len(run.Tool.Driver.Rules), len(analyzers))
+	}
+	for i, a := range analyzers {
+		if run.Tool.Driver.Rules[i].ID != a.Name {
+			t.Fatalf("rule[%d] = %q, want %q", i, run.Tool.Driver.Rules[i].ID, a.Name)
+		}
+	}
+	if len(run.Results) != len(findings) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(findings))
+	}
+	for i, f := range findings {
+		r := run.Results[i]
+		loc := r.Locations[0].PhysicalLocation
+		if r.RuleID != f.Analyzer || r.Level != "error" || r.Message.Text != f.Message ||
+			loc.ArtifactLocation.URI != f.File || loc.ArtifactLocation.URIBaseID != "%SRCROOT%" ||
+			loc.Region.StartLine != f.Line || loc.Region.StartColumn != f.Column {
+			t.Fatalf("result[%d] = %+v, want projection of %+v", i, r, f)
+		}
+		if r.RuleIndex < 0 || r.RuleIndex >= len(analyzers) || analyzers[r.RuleIndex].Name != f.Analyzer {
+			t.Fatalf("result[%d] ruleIndex %d does not point at %s", i, r.RuleIndex, f.Analyzer)
+		}
+	}
+
+	var again bytes.Buffer
+	if err := WriteSARIF(&again, analyzers, findings); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("SARIF output is not byte-deterministic")
+	}
+}
+
+// TestBaseline covers the allowlist lifecycle: justified entries filter
+// matching findings, unmatched findings survive, stale entries are
+// reported, and a reason-less entry is rejected at load time.
+func TestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint.baseline.json")
+	write := func(content string) {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write(`{"entries": [
+		{"analyzer": "ctxpoll", "file": "internal/eval/a.go", "message": "old debt", "justification": "tracked for the next PR"},
+		{"analyzer": "pubmut", "file": "internal/serve/b.go", "message": "gone", "justification": "was fixed"}
+	]}`)
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := []Finding{
+		{Analyzer: "ctxpoll", File: "internal/eval/a.go", Line: 5, Message: "old debt"},
+		{Analyzer: "ctxpoll", File: "internal/eval/a.go", Line: 9, Message: "new violation"},
+	}
+	kept, stale := b.Apply(findings)
+	if len(kept) != 1 || kept[0].Message != "new violation" {
+		t.Fatalf("kept = %+v, want only the new violation", kept)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "pubmut" {
+		t.Fatalf("stale = %+v, want the fixed pubmut entry", stale)
+	}
+
+	write(`{"entries": [{"analyzer": "ctxpoll", "file": "a.go", "message": "m", "justification": ""}]}`)
+	if _, err := LoadBaseline(path); err == nil || !strings.Contains(err.Error(), "justification") {
+		t.Fatalf("reason-less baseline entry loaded without error (err = %v)", err)
+	}
+
+	write(`{"entries": [{"analyzer": "", "file": "a.go", "message": "m", "justification": "j"}]}`)
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("entry missing its analyzer loaded without error")
+	}
+}
+
+// TestRepoBaselineLoads keeps the committed baseline file valid: CI points
+// tslint at it, so a malformed or unjustified entry must fail here first.
+func TestRepoBaselineLoads(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join("..", "..", "lint.baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The suite is currently clean; new entries need a justification and a
+	// matching finding, which TestModuleClean would surface.
+	if !reflect.DeepEqual(b.Entries, []BaselineEntry(nil)) && len(b.Entries) != 0 {
+		t.Fatalf("committed baseline has %d entries; the suite is expected clean", len(b.Entries))
+	}
+}

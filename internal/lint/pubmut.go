@@ -1,0 +1,470 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PubMutAnalyzer enforces the immutable-after-publish discipline on values
+// shared through atomic pointers. The serving-era read paths (the serve
+// catalogs, tier's View, eval's rank arrays and scratch pool) are lock-free
+// because a value, once Store/Swap-published through an
+// `atomic.Pointer[T]`, is never written again: readers load a pointer and
+// rely on the happens-before edge of the publishing store covering every
+// prior initialization write. A write after the publish point races every
+// concurrent reader — the class of bug `-race` only catches when a test
+// happens to overlap the two operations.
+//
+// The analyzer is lexically flow-sensitive within each function:
+//
+//   - a local value published via `p.Store(v)` / `p.Swap(v)` (including
+//     `&v` forms and simple pointer aliases of v) must not be written
+//     through after the publish call: field writes, slice/map element
+//     writes, and pointer-target writes are all flagged;
+//   - after the publish point, storing the published value (or its
+//     address) into a struct field, element, or package-level variable is
+//     flagged as an aliased escape — the alias outlives the function and
+//     invites a later mutation the analyzer cannot see;
+//   - a value obtained from `p.Load()` — or from a snapshot-shaped
+//     accessor, i.e. an in-module function/method whose returned value is
+//     (transitively) an atomic-pointer Load — is a published snapshot and
+//     must not be written through at all.
+//
+// Sanctioned patterns stay silent without suppression: returning the value
+// just published (the lazily-built accessor in eval's rank cache), taking
+// ownership with `Swap` (the Swap result — e.g. the scratch pool's
+// Swap(nil) take — is the taker's private copy), reassigning the variable
+// to a fresh value after publishing the old one, and calling methods on a
+// published value (internal synchronization is the method's contract).
+// Builder patterns that intentionally write around their own publish point
+// carry a "//lint:prepublish <reason>" justification.
+var PubMutAnalyzer = &Analyzer{
+	Name:      "pubmut",
+	Doc:       "write to a value after it was published through an atomic pointer, or to a loaded snapshot",
+	Directive: "prepublish",
+	Run:       runPubMut,
+}
+
+func runPubMut(p *Program) []Finding {
+	decls := moduleFuncs(p)
+	shape := &loadShapeMemo{decls: decls, shaped: make(map[*types.Func]int)}
+	var out []Finding
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, pubMutFunc(p, pkg, fd, shape)...)
+			}
+		}
+	}
+	return out
+}
+
+// pubMutFunc analyzes one function body for post-publish and snapshot
+// mutation.
+func pubMutFunc(p *Program, pkg *Package, fd *ast.FuncDecl, shape *loadShapeMemo) []Finding {
+	st := &pubState{
+		pkg:       pkg,
+		shape:     shape,
+		parent:    make(map[*types.Var]*types.Var),
+		published: make(map[*types.Var]token.Pos),
+		snapshot:  make(map[*types.Var]token.Pos),
+		kills:     make(map[*types.Var][]token.Pos),
+	}
+
+	// Pass 1 (source order): publish events, snapshot bindings, pointer
+	// aliases, and whole-variable reassignments (kills).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			st.recordPublish(n)
+		case *ast.AssignStmt:
+			st.recordAssign(n)
+		}
+		return true
+	})
+	// Pass 2 must run even with no tracked bindings: a direct
+	// `p.Load().Field = x` write needs no local variable to be a snapshot
+	// mutation.
+	//
+	// Aliases recorded after a publish may have merged groups; re-key the
+	// publish positions by each group's final representative.
+	norm := make(map[*types.Var]token.Pos, len(st.published))
+	for v, pos := range st.published {
+		r := st.find(v)
+		if prev, ok := norm[r]; !ok || pos < prev {
+			norm[r] = pos
+		}
+	}
+	st.published = norm
+
+	// Pass 2: violations.
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f, ok := st.checkWrite(p, lhs); ok {
+					out = append(out, f)
+				}
+			}
+			out = append(out, st.checkEscapes(p, n)...)
+		case *ast.IncDecStmt:
+			if f, ok := st.checkWrite(p, n.X); ok {
+				out = append(out, f)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// pubState is the per-function tracking state.
+type pubState struct {
+	pkg   *Package
+	shape *loadShapeMemo
+	// parent is a union-find over local pointer variables that may share a
+	// pointee (w := v, w := &v).
+	parent map[*types.Var]*types.Var
+	// published maps a group representative to the position of the earliest
+	// publishing Store/Swap whose argument resolved into the group.
+	published map[*types.Var]token.Pos
+	// snapshot maps a local variable to the position where it was bound to
+	// an atomic Load (or snapshot-accessor) result.
+	snapshot map[*types.Var]token.Pos
+	// kills lists positions where a variable is wholly reassigned; a write
+	// after a kill targets a fresh value, not the published one.
+	kills map[*types.Var][]token.Pos
+}
+
+func (st *pubState) find(v *types.Var) *types.Var {
+	for {
+		p, ok := st.parent[v]
+		if !ok || p == v {
+			return v
+		}
+		st.parent[v] = st.parent[p]
+		v = p
+	}
+}
+
+func (st *pubState) union(a, b *types.Var) {
+	ra, rb := st.find(a), st.find(b)
+	if ra != rb {
+		st.parent[ra] = rb
+	}
+}
+
+// recordPublish registers `recv.Store(v)` / `recv.Swap(v)` on an atomic
+// pointer when the argument resolves to a local variable (directly or via
+// &v). The publish position is the end of the call: uses inside the call
+// itself are pre-publish.
+func (st *pubState) recordPublish(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	switch atomicPtrMethod(st.pkg, sel) {
+	case "Store", "Swap":
+	default:
+		return
+	}
+	v := st.localVar(call.Args[0])
+	if v == nil {
+		return
+	}
+	root := st.find(v)
+	if pos, ok := st.published[root]; !ok || call.End() < pos {
+		st.published[root] = call.End()
+	}
+}
+
+// recordAssign registers snapshot bindings, pointer aliases, and kills from
+// one assignment statement.
+func (st *pubState) recordAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // multi-value call/comma-ok forms carry no tracked value
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		lv := st.objOf(id)
+		if lv == nil {
+			continue
+		}
+		// Whole-variable reassignment kills prior publish/snapshot facts for
+		// writes that follow it.
+		st.kills[lv] = append(st.kills[lv], as.Pos())
+
+		rhs := ast.Unparen(as.Rhs[i])
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if st.isSnapshotCall(call) {
+				if _, ok := st.snapshot[lv]; !ok {
+					st.snapshot[lv] = as.End()
+				}
+			}
+			continue
+		}
+		if rv := st.localVar(rhs); rv != nil {
+			// w := v / w := &v — w may reach v's pointee (alias), and a
+			// snapshot's alias is itself a snapshot.
+			if pointerish(lv.Type()) {
+				st.union(lv, rv)
+			}
+			if pos, ok := st.snapshot[rv]; ok {
+				if _, dup := st.snapshot[lv]; !dup {
+					st.snapshot[lv] = pos
+				}
+			}
+		}
+	}
+}
+
+// checkWrite flags a write *through* expr (field, element, or pointee —
+// never a plain variable reassignment) when the base variable holds a
+// published or snapshot value at that point.
+func (st *pubState) checkWrite(p *Program, expr ast.Expr) (Finding, bool) {
+	base, wrapped := writeBase(expr)
+	if !wrapped {
+		return Finding{}, false
+	}
+	switch base := base.(type) {
+	case *ast.Ident:
+		v := st.objOf(base)
+		if v == nil {
+			return Finding{}, false
+		}
+		pos := expr.Pos()
+		if pub, ok := st.published[st.find(v)]; ok && pub < pos && !st.killedBetween(v, pub, pos) {
+			return finding(p, pos,
+				"%s is written after being published through an atomic pointer; published values are immutable (move the write before the Store/Swap, or justify a builder with //lint:prepublish)",
+				base.Name), true
+		}
+		if snap, ok := st.snapshot[v]; ok && snap < pos && !st.killedBetween(v, snap, pos) {
+			return finding(p, pos,
+				"write through %s mutates a published snapshot (atomic Load / snapshot accessor result); copy the value before mutating", base.Name), true
+		}
+	case *ast.CallExpr:
+		// Direct `p.Load().Field = x` style writes.
+		if st.isSnapshotCall(base) {
+			return finding(p, expr.Pos(),
+				"write through an atomic Load result mutates a published snapshot; copy the value before mutating"), true
+		}
+	}
+	return Finding{}, false
+}
+
+// checkEscapes flags assignments that store a published value (or its
+// address) into a location that outlives the function: a struct field,
+// element, pointee, or package-level variable.
+func (st *pubState) checkEscapes(p *Program, as *ast.AssignStmt) []Finding {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	var out []Finding
+	for i, rhs := range as.Rhs {
+		v := st.localVar(rhs)
+		if v == nil {
+			continue
+		}
+		pub, ok := st.published[st.find(v)]
+		if !ok || pub >= rhs.Pos() || st.killedBetween(v, pub, rhs.Pos()) {
+			continue
+		}
+		lhs := ast.Unparen(as.Lhs[i])
+		escapes := false
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			// A copy into another local is tracked by the alias groups; only
+			// package-level targets escape.
+			if lv := st.objOf(l); lv != nil && lv.Pkg() != nil && lv.Parent() == lv.Pkg().Scope() {
+				escapes = true
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			escapes = true
+		}
+		if escapes {
+			out = append(out, finding(p, rhs.Pos(),
+				"%s is aliased into a longer-lived location after being published; the escape invites a post-publish write no reader can tolerate", nameOf(rhs)))
+		}
+	}
+	return out
+}
+
+func (st *pubState) killedBetween(v *types.Var, from, to token.Pos) bool {
+	for _, k := range st.kills[v] {
+		if from < k && k < to {
+			return true
+		}
+	}
+	return false
+}
+
+// localVar resolves `v` or `&v` to a function-local *types.Var, or nil.
+func (st *pubState) localVar(expr ast.Expr) *types.Var {
+	expr = ast.Unparen(expr)
+	if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		expr = ast.Unparen(u.X)
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return st.objOf(id)
+}
+
+// objOf resolves an identifier to a non-field *types.Var.
+func (st *pubState) objOf(id *ast.Ident) *types.Var {
+	obj := st.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = st.pkg.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isSnapshotCall reports whether a call yields a published snapshot: an
+// atomic-pointer Load, or a call to an in-module load-shaped accessor.
+func (st *pubState) isSnapshotCall(call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if atomicPtrMethod(st.pkg, sel) == "Load" {
+			return true
+		}
+	}
+	if callee := calleeOf(st.pkg, call); callee != nil {
+		return st.shape.loadShaped(callee)
+	}
+	return false
+}
+
+// writeBase strips field selections, index expressions, and dereferences
+// off an assignment target, returning the base expression and whether at
+// least one such wrapper was stripped (a write *through* the base rather
+// than a plain reassignment of it).
+func writeBase(expr ast.Expr) (ast.Expr, bool) {
+	wrapped := false
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr, wrapped = e.X, true
+		case *ast.IndexExpr:
+			expr, wrapped = e.X, true
+		case *ast.StarExpr:
+			expr, wrapped = e.X, true
+		default:
+			return expr, wrapped
+		}
+	}
+}
+
+// atomicPtrMethod returns the method name when sel resolves to a method on
+// sync/atomic's pointer-carrying types (Pointer[T] or Value), else "".
+func atomicPtrMethod(pkg *Package, sel *ast.SelectorExpr) string {
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Pointer", "Value":
+		return fn.Name()
+	}
+	return ""
+}
+
+// pointerish reports whether copying a value of type t shares underlying
+// storage with the original (so a write through the copy is a write through
+// the original).
+func pointerish(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// nameOf renders a short display name for a tracked expression.
+func nameOf(expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		expr = ast.Unparen(u.X)
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "published value"
+}
+
+// loadShapeMemo memoizes which module functions are snapshot-shaped
+// accessors: such a function has at least one return statement whose
+// result is an atomic-pointer Load (or a call to another load-shaped
+// function). tier.Stack.View — `return s.view.Load()` — is the canonical
+// case.
+type loadShapeMemo struct {
+	decls  map[*types.Func]*funcNode
+	shaped map[*types.Func]int // 0 unknown/visiting, 1 no, 2 yes
+}
+
+func (m *loadShapeMemo) loadShaped(fn *types.Func) bool {
+	switch m.shaped[fn] {
+	case 1:
+		return false
+	case 2:
+		return true
+	}
+	node, ok := m.decls[fn]
+	if !ok {
+		m.shaped[fn] = 1
+		return false
+	}
+	m.shaped[fn] = 1 // break recursion cycles pessimistically
+	result := false
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || result {
+			return !result
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				atomicPtrMethod(node.pkg, sel) == "Load" {
+				result = true
+				return false
+			}
+			if callee := calleeOf(node.pkg, call); callee != nil && callee != fn && m.loadShaped(callee) {
+				result = true
+				return false
+			}
+		}
+		return true
+	})
+	if result {
+		m.shaped[fn] = 2
+	}
+	return result
+}

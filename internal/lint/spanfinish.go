@@ -1,0 +1,515 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanFinishAnalyzer enforces the trace-span lifecycle and the serving
+// error-path contract.
+//
+// Span rule (module-wide): every span bound from a StartSpan call must be
+// finished on all paths out of its live range. A span instance's live
+// range runs from its binding to the variable's next StartSpan rebinding
+// or the function's end, and it is satisfied by a deferred End (direct
+// `defer v.End()` or a deferred closure calling it) or by an End call that
+// lexically dominates each exit (an unconditional `v.End()` earlier in the
+// same or an enclosing block). The analyzer reports:
+//
+//   - a StartSpan result that is discarded outright;
+//   - a return path (or fall-off-the-end of a void function) not dominated
+//     by an End;
+//   - a rebinding `v = tr.StartSpan(...)` that drops the previous instance
+//     before it was finished;
+//   - a span instance with no End and no defer anywhere in its range.
+//
+// A span that escapes — passed to another function, stored, or returned —
+// is assumed to be finished by its new owner and is skipped. An
+// intentional leak (there are none today) would carry
+// "//lint:spanfinish <reason>".
+//
+// Error-path rule (package serve): handler error paths answer structured
+// JSON with an enumerable machine code. Bare http.Error calls are
+// reported, and the code argument of the fail/shed helpers must be a
+// registered package-level constant — a bare string literal is reported
+// even when its value happens to match one, because unregistered spellings
+// are how the enumeration drifts.
+var SpanFinishAnalyzer = &Analyzer{
+	Name:      "spanfinish",
+	Doc:       "trace span not finished on every path, or a serving error path outside the structured-error contract",
+	Directive: "spanfinish",
+	Run:       runSpanFinish,
+}
+
+func runSpanFinish(p *Program) []Finding {
+	var out []Finding
+	for _, pkg := range p.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, spanLifecycle(p, pkg, fd)...)
+			}
+		}
+	}
+	for _, pkg := range packagesNamed(p, "serve") {
+		out = append(out, serveErrorPaths(p, pkg)...)
+	}
+	return out
+}
+
+// spanInstance is one live range of a span variable: from its StartSpan
+// binding to the next rebinding of the same variable, the end of the
+// binding's enclosing scope (block, case, or select clause — a block-scoped
+// span cannot leak past its block), or the end of the function, whichever
+// comes first.
+type spanInstance struct {
+	obj  *types.Var
+	name string
+	bind *ast.AssignStmt
+	from token.Pos // end of the binding statement
+	to   token.Pos // start of the next rebinding, or the scope's end
+	// funcBody is the body of the innermost function literal holding the
+	// binding (or the declaration's body): returns inside other closures
+	// exit a different function and are not this span's exits.
+	funcBody *ast.BlockStmt
+	// scope is the statement list directly holding the binding; scopeEnd is
+	// its closing position.
+	scope    []ast.Stmt
+	scopeEnd token.Pos
+	// scopeIsFuncBody marks that the scope is funcBody itself, where
+	// falling off the end is only possible for result-less functions.
+	scopeIsFuncBody bool
+}
+
+func spanLifecycle(p *Program, pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+
+	// Collect span bindings (and flag discarded starts).
+	var instances []*spanInstance
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isStartSpanCall(pkg, call) {
+				out = append(out, finding(p, n.Pos(),
+					"StartSpan result is discarded; bind the span and finish it with End"))
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isStartSpanCall(pkg, call) {
+					continue
+				}
+				id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if id.Name == "_" {
+					out = append(out, finding(p, n.Pos(),
+						"StartSpan result is discarded; bind the span and finish it with End"))
+					continue
+				}
+				obj := spanVarOf(pkg, id)
+				if obj == nil {
+					continue
+				}
+				instances = append(instances, &spanInstance{obj: obj, name: id.Name, bind: n, from: n.End()})
+			}
+		}
+		return true
+	})
+	if len(instances) == 0 {
+		return out
+	}
+
+	// Close each instance's range at its scope's end or the next rebinding
+	// of the same variable within the same function body, whichever comes
+	// first (rebindings are in source order within instances).
+	for i, inst := range instances {
+		inst.funcBody = enclosingFuncBody(fd, inst.bind.Pos())
+		inst.scope, inst.scopeEnd = enclosingScope(fd.Body, inst.bind)
+		inst.scopeIsFuncBody = inst.scopeEnd == inst.funcBody.Rbrace
+		inst.to = inst.scopeEnd
+		for _, later := range instances[i+1:] {
+			if later.obj == inst.obj && later.bind.Pos() < inst.to &&
+				enclosingFuncBody(fd, later.bind.Pos()) == inst.funcBody {
+				inst.to = later.bind.Pos()
+				break
+			}
+		}
+	}
+
+	for _, inst := range instances {
+		out = append(out, checkSpanInstance(p, pkg, fd, inst)...)
+	}
+	return out
+}
+
+// enclosingFuncBody returns the body of the innermost function literal
+// containing pos, or the declaration's own body.
+func enclosingFuncBody(fd *ast.FuncDecl, pos token.Pos) *ast.BlockStmt {
+	body := fd.Body
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if ok && lit.Body.Pos() <= pos && pos < lit.Body.End() {
+			body = lit.Body
+		}
+		return true
+	})
+	return body
+}
+
+// enclosingScope finds the statement list directly holding stmt (a block's
+// List or a case/select clause's Body) and the position where that scope
+// closes.
+func enclosingScope(body *ast.BlockStmt, stmt ast.Stmt) ([]ast.Stmt, token.Pos) {
+	list, end := body.List, body.Rbrace
+	ast.Inspect(body, func(n ast.Node) bool {
+		var cand []ast.Stmt
+		var candEnd token.Pos
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			cand, candEnd = n.List, n.Rbrace
+		case *ast.CaseClause:
+			cand, candEnd = n.Body, n.End()
+		case *ast.CommClause:
+			cand, candEnd = n.Body, n.End()
+		default:
+			return true
+		}
+		for _, s := range cand {
+			if s == stmt {
+				list, end = cand, candEnd
+			}
+		}
+		return true
+	})
+	return list, end
+}
+
+func checkSpanInstance(p *Program, pkg *Package, fd *ast.FuncDecl, inst *spanInstance) []Finding {
+	inRange := func(pos token.Pos) bool { return inst.from <= pos && pos < inst.to }
+	isEnd := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "End" && sel.Sel.Name != "EndAt") {
+			return false
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		return ok && spanVarOf(pkg, id) == inst.obj && inRange(n.Pos())
+	}
+
+	// One classification walk over the function: deferred Ends, any End,
+	// escapes, and the returns inside the range.
+	deferred, anyEnd, escapes := false, false, false
+	endRecvPos := make(map[token.Pos]bool) // positions of `v` in v.End() receivers
+	var returns []*ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if !inRange(n.Pos()) {
+				return true
+			}
+			if isEnd(n.Call) {
+				deferred = true
+			} else if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if isEnd(m) {
+						deferred = true
+					}
+					return !deferred
+				})
+			}
+		case *ast.CallExpr:
+			if isEnd(n) {
+				anyEnd = true
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						endRecvPos[id.Pos()] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			// A return exits this span's function only when it is not inside
+			// some other closure.
+			if inRange(n.Pos()) && enclosingFuncBody(fd, n.Pos()) == inst.funcBody {
+				returns = append(returns, n)
+			}
+		}
+		return true
+	})
+
+	// Escape scan: any use of the span variable in range that is neither
+	// its binding nor the receiver of an End call hands the span to someone
+	// else (argument, field store, return value); assume the new owner
+	// finishes it.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || !inRange(id.Pos()) || endRecvPos[id.Pos()] {
+			return true
+		}
+		if spanVarOf(pkg, id) == inst.obj {
+			escapes = true
+		}
+		return !escapes
+	})
+	if escapes || deferred {
+		return nil
+	}
+
+	if !anyEnd {
+		return []Finding{finding(p, inst.bind.Pos(),
+			"span %s is never finished in this function; End it on every path (defer or dominating call)", inst.name)}
+	}
+
+	dominated := func(at token.Pos) bool {
+		return hasDominatingCall(fd.Body, at, func(n ast.Node) bool { return isEnd(n) })
+	}
+	var out []Finding
+	for _, ret := range returns {
+		if !dominated(ret.Pos()) {
+			out = append(out, finding(p, ret.Pos(),
+				"return path does not finish span %s; End it before returning (or defer the End)", inst.name))
+		}
+	}
+	if inst.to != inst.scopeEnd {
+		// Rebinding drops the previous instance.
+		if !dominated(inst.to) {
+			out = append(out, finding(p, inst.to,
+				"span %s is rebound before the previous span was finished", inst.name))
+		}
+		return out
+	}
+	// The scope flows out at its end unless its last statement is a return
+	// (checked above as a return path). A value-returning function body
+	// cannot fall off its end at all.
+	if inst.scopeIsFuncBody && fd.Type.Results != nil {
+		return out
+	}
+	if !endsTerminal(inst.scope) && !dominated(inst.scopeEnd) {
+		out = append(out, finding(p, inst.bind.Pos(),
+			"span %s may leak when its scope falls through; End it after the last use or defer the End", inst.name))
+	}
+	return out
+}
+
+// endsTerminal reports whether a scope's final statement is a return (so
+// the fall-through exit is unreachable).
+func endsTerminal(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	_, ok := list[len(list)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// hasDominatingCall reports whether a node matched by isHit appears in a
+// statement that lexically dominates position at: a preceding sibling (or
+// preceding sibling of an ancestor) in an enclosing block, with the hit
+// not nested under a conditional, loop, or function literal inside that
+// sibling.
+func hasDominatingCall(body *ast.BlockStmt, at token.Pos, isHit func(ast.Node) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// Case and select clause bodies are statement lists too: an End in
+		// a clause dominates the rest of that clause.
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if n.Pos() >= at || n.End() < at {
+				return true
+			}
+			list = n.List
+		case *ast.CaseClause:
+			if n.Pos() >= at || n.End() < at {
+				return true
+			}
+			list = n.Body
+		case *ast.CommClause:
+			if n.Pos() >= at || n.End() < at {
+				return true
+			}
+			list = n.Body
+		default:
+			return true
+		}
+		for _, s := range list {
+			if s.End() > at {
+				break
+			}
+			if unconditionally(s, isHit) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// unconditionally searches a statement for a hit that executes whenever
+// the statement does: nested conditionals, loops, switches, selects, and
+// function literals are not descended into.
+func unconditionally(n ast.Node, isHit func(ast.Node) bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m.(type) {
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		if isHit(m) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isStartSpanCall reports whether the call statically resolves to a
+// function or method named StartSpan.
+func isStartSpanCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeOf(pkg, call)
+	return fn != nil && fn.Name() == "StartSpan"
+}
+
+// spanVarOf resolves an identifier to a local variable whose type is a
+// span (a named type whose name ends in "Span"), or nil.
+func spanVarOf(pkg *Package, id *ast.Ident) *types.Var {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	t := v.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	name := named.Obj().Name()
+	if len(name) >= 4 && name[len(name)-4:] == "Span" {
+		return v
+	}
+	return nil
+}
+
+// serveErrorPaths enforces the structured-error contract in package serve.
+func serveErrorPaths(p *Program, pkg *Package) []Finding {
+	registered := registeredCodes(pkg)
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pkg, call)
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "Error" {
+				out = append(out, finding(p, call.Pos(),
+					"bare http.Error bypasses the structured JSON error contract; answer through the registered-code fail/shed helpers"))
+				return true
+			}
+			if fn.Name() != "fail" && fn.Name() != "shed" {
+				return true
+			}
+			idx := codeParamIndex(fn)
+			if idx < 0 || idx >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[idx]
+			if _, ok := ast.Unparen(arg).(*ast.BasicLit); !ok {
+				return true // constants and variables are fine; literals drift
+			}
+			code := constStringValue(pkg, arg)
+			if registered[code] {
+				out = append(out, finding(p, arg.Pos(),
+					"error code %q is spelled as a bare literal; use the registered code constant so the enumeration cannot drift", code))
+			} else {
+				out = append(out, finding(p, arg.Pos(),
+					"error code %q is not a registered package-level code constant; declare it alongside the other codes", code))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// registeredCodes collects the string values of the package-level string
+// constants in pkg — the registered error-code enumeration.
+func registeredCodes(pkg *Package) map[string]bool {
+	out := make(map[string]bool)
+	if pkg.Types == nil {
+		return out
+	}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if basic, ok := c.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+			out[constantStringOf(c)] = true
+		}
+	}
+	return out
+}
+
+func constantStringOf(c *types.Const) string {
+	s := c.Val().ExactString()
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// constStringValue extracts the constant string value of an expression.
+func constStringValue(pkg *Package, expr ast.Expr) string {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return ""
+	}
+	s := tv.Value.ExactString()
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// codeParamIndex finds the index of the parameter named "code" in fn's
+// signature, or -1.
+func codeParamIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == "code" {
+			return i
+		}
+	}
+	return -1
+}

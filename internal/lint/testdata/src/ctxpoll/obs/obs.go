@@ -1,0 +1,16 @@
+// Telemetry stand-in for the ctxpoll fixture: calls into package obs are
+// the cut boundary, so Observe's constant-bounded bucket walk must not
+// make its callers' loops count as unbounded.
+package obs
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram struct {
+	buckets []int64
+}
+
+// Observe walks the constant-size bucket array.
+func (h *Histogram) Observe(v int64) {
+	for i := range h.buckets {
+		h.buckets[i] += v
+	}
+}

@@ -1,0 +1,36 @@
+// Serve-side half of the ctxpoll fixture: handler methods (handle*) are
+// serving roots by pattern, and functions no root reaches stay silent.
+package serve
+
+// Server fans requests out over its catalog.
+type Server struct {
+	names []string
+}
+
+// handleQuery is a serving root by method-name pattern.
+func (s *Server) handleQuery() int {
+	total := 0
+	for _, n := range s.names { /* want "unbounded per-iteration work without polling ctx" */
+		total += expand(n)
+	}
+	return total
+}
+
+// expand loops, making it unbounded per-iteration work for callers.
+func expand(n string) int {
+	total := 0
+	for range n {
+		total++
+	}
+	return total
+}
+
+// notReachable has the identical unpolled shape, but no serving root
+// reaches it: the analyzer must stay silent here.
+func notReachable(names []string) int {
+	total := 0
+	for _, n := range names {
+		total += expand(n)
+	}
+	return total
+}

@@ -1,0 +1,4 @@
+// Underscore-prefixed directories are skipped wholesale.
+package skip
+
+func Skip() int { return 6 }

@@ -1,0 +1,24 @@
+// Package generics pins that the loader's type-check pass survives
+// generic declarations, instantiations, and methods on generic types
+// (the Instances map in types.Info).
+package generics
+
+type box[T any] struct {
+	v T
+}
+
+func (b *box[T]) get() T { return b.v }
+
+func sum[T ~int | ~float64](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Use instantiates both the generic function and the generic type.
+func Use() int {
+	b := &box[int]{v: sum([]int{1, 2, 3})}
+	return b.get()
+}

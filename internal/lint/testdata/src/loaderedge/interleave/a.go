@@ -1,0 +1,8 @@
+// Package interleave's files sort around the sub/ directory entry
+// (a.go, sub/, z.go): WalkDir yields the directory's files in two runs,
+// which is the double-collection regression this fixture pins. The bare
+// directive below must be reported exactly once.
+package interleave
+
+//lint:sorted
+func A() int { return 1 }

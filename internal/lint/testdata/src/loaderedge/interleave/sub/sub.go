@@ -1,0 +1,6 @@
+// Package sub sits between a.go and z.go in directory order.
+package sub
+
+// S is imported by the parent package to exercise module-internal
+// import resolution across the interleaved walk.
+func S() int { return 2 }

@@ -1,0 +1,5 @@
+package interleave
+
+import "fix/interleave/sub"
+
+func Z() int { return A() + sub.S() }

@@ -1,0 +1,5 @@
+// Package mixed has a stray file declaring another package name; the
+// loader keeps the first package and drops the stray.
+package mixed
+
+func M() int { return 3 }

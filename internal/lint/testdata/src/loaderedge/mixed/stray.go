@@ -1,0 +1,5 @@
+// A stray file from another package (a tool artifact left behind);
+// the loader must not let it break the directory's real package.
+package other
+
+func O() int { return 4 }

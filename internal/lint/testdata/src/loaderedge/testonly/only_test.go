@@ -1,0 +1,7 @@
+// A directory holding only _test.go files must never become a package:
+// neither packageDirs nor parseDir may see it.
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

@@ -1,0 +1,139 @@
+// Fixture for the pubmut analyzer: values published through atomic
+// pointers are frozen at the Store, and loaded snapshots are always
+// read-only. Good patterns are uncommented; violations carry position-
+// exact want comments.
+package serve
+
+import "sync/atomic"
+
+type catalog struct {
+	entries map[string]int
+	n       int
+}
+
+var ptr atomic.Pointer[catalog]
+var boxed atomic.Value
+var retained *catalog
+
+// publishThenWrite is the core violation: the builder keeps writing
+// after the value went live for concurrent readers.
+func publishThenWrite() {
+	c := &catalog{entries: map[string]int{}}
+	c.n = 1 // pre-publish writes are the builder phase: fine
+	ptr.Store(c)
+	c.n = 2            /* want "published through an atomic pointer" */
+	c.entries["x"] = 3 /* want "published through an atomic pointer" */
+	c.n++              /* want "published through an atomic pointer" */
+}
+
+// publishValueForm covers the Store(&v) spelling.
+func publishValueForm() {
+	var c catalog
+	ptr.Store(&c)
+	c.n = 1 /* want "published through an atomic pointer" */
+}
+
+// publishViaValue covers atomic.Value, which boxes rather than points.
+func publishViaValue() {
+	c := &catalog{}
+	boxed.Store(c)
+	c.n = 1 /* want "published through an atomic pointer" */
+}
+
+// aliasWrite mutates through a pointer alias taken before the publish.
+func aliasWrite() {
+	c := &catalog{}
+	w := c
+	ptr.Store(c)
+	w.n = 1 /* want "published through an atomic pointer" */
+}
+
+// escapeAfterPublish parks the published value in a longer-lived
+// location, inviting a later out-of-band mutation.
+func escapeAfterPublish() {
+	c := &catalog{}
+	ptr.Store(c)
+	retained = c /* want "aliased into a longer-lived location" */
+}
+
+// snapshotWrite mutates a loaded snapshot some other goroutine may be
+// reading through its own Load.
+func snapshotWrite() {
+	c := ptr.Load()
+	c.n = 1 /* want "mutates a published snapshot" */
+}
+
+// directLoadWrite writes through the Load call itself.
+func directLoadWrite() {
+	ptr.Load().n = 1 /* want "mutates a published snapshot" */
+}
+
+// view is a load-shaped accessor: every return path hands out the
+// published value, so its callers hold snapshots too.
+func view() *catalog {
+	return ptr.Load()
+}
+
+// accessorSnapshotWrite mutates an accessor result two hops from the
+// atomic itself.
+func accessorSnapshotWrite() {
+	c := view()
+	c.n = 1 /* want "mutates a published snapshot" */
+}
+
+// buildFreshOK is the sanctioned pattern: build, publish, hand back for
+// reading.
+func buildFreshOK() *catalog {
+	c := &catalog{entries: map[string]int{}}
+	c.n = 7
+	ptr.Store(c)
+	return c
+}
+
+// reassignOK rebinds the variable to a fresh value after publishing, so
+// the later writes never touch the shared one.
+func reassignOK() {
+	c := &catalog{}
+	ptr.Store(c)
+	c = &catalog{}
+	c.n = 1
+	ptr.Store(c)
+}
+
+// swapTakeOK takes ownership of the old value through Swap; the taker
+// is its only holder and may mutate freely.
+func swapTakeOK() {
+	old := ptr.Swap(nil)
+	if old != nil {
+		old.n = 0
+	}
+}
+
+// readOnlyUseOK reads fields and calls methods on snapshots: only
+// writes are the hazard.
+func readOnlyUseOK() int {
+	c := ptr.Load()
+	if c == nil {
+		return 0
+	}
+	return c.n + len(c.entries)
+}
+
+// seedThenFill publishes a placeholder before filling it so readers
+// never observe nil; the single-threaded handoff justifies the
+// post-publish write.
+func seedThenFill() {
+	c := &catalog{entries: map[string]int{}}
+	ptr.Store(c)
+	//lint:prepublish single-threaded startup: readers begin only after seedThenFill returns
+	c.n = 9
+}
+
+// bareDirective pins the reason-less directive rule: it suppresses
+// nothing and is itself a finding.
+func bareDirective() {
+	c := &catalog{}
+	ptr.Store(c)
+	/* want "requires a justification" */ //lint:prepublish
+	c.n = 1                               /* want "published through an atomic pointer" */
+}

@@ -1,0 +1,134 @@
+// Span-lifecycle half of the spanfinish fixture: every started span must
+// be finished on all paths out of its live range. Good patterns are
+// uncommented; violations carry position-exact want comments.
+package eval
+
+import (
+	"errors"
+
+	"fix/obs"
+)
+
+var errFail = errors.New("fail")
+
+func work() int { return 1 }
+
+func sortFunc(xs []int, less func(a, b int) bool) {
+	_ = xs
+	_ = less
+}
+
+// allPathsOK ends the span explicitly on both exits.
+func allPathsOK(tr *obs.Trace, fail bool) error {
+	span := tr.StartSpan("eval.memo")
+	if fail {
+		span.End()
+		return errFail
+	}
+	span.End()
+	return nil
+}
+
+// deferOK finishes through the canonical defer.
+func deferOK(tr *obs.Trace) error {
+	span := tr.StartSpan("eval.plan")
+	defer span.End()
+	if work() == 0 {
+		return errFail
+	}
+	return nil
+}
+
+// deferClosureOK finishes inside a deferred closure.
+func deferClosureOK(tr *obs.Trace) {
+	span := tr.StartSpan("eval.emit")
+	defer func() {
+		span.End()
+	}()
+	work()
+}
+
+// blockScopedOK confines the span to the if-block and ends it there.
+func blockScopedOK(tr *obs.Trace, slow bool) int {
+	if slow {
+		ds := tr.StartSpan("serve.delay")
+		work()
+		ds.End()
+	}
+	return work()
+}
+
+// handedOff passes the span on: the new owner finishes it.
+func handedOff(tr *obs.Trace) {
+	span := tr.StartSpan("eval.emit")
+	finishLater(span)
+}
+
+func finishLater(s *obs.Span) { s.End() }
+
+// closureReturnOK: the return inside the comparator exits the closure,
+// not this function, so it is not one of the span's exit paths.
+func closureReturnOK(tr *obs.Trace, xs []int) {
+	span := tr.StartSpan("eval.sort")
+	sortFunc(xs, func(a, b int) bool {
+		return a < b
+	})
+	span.End()
+}
+
+// discarded drops StartSpan results outright, in both spellings.
+func discarded(tr *obs.Trace) {
+	tr.StartSpan("eval.plan") /* want "StartSpan result is discarded" */
+	_ = obs.StartSpan("x")    /* want "StartSpan result is discarded" */
+}
+
+// leakyError misses the End on the error path.
+func leakyError(tr *obs.Trace, fail bool) error {
+	span := tr.StartSpan("eval.memo")
+	if fail {
+		return errFail /* want "return path does not finish span span" */
+	}
+	span.End()
+	return nil
+}
+
+// rebindDropsFirst rebinds the variable while the first span is still
+// open; the first instance is never finished.
+func rebindDropsFirst(tr *obs.Trace) {
+	span := tr.StartSpan("eval.plan") /* want "span span is never finished" */
+	span = tr.StartSpan("eval.memo")
+	span.End()
+}
+
+// rebindCond ends the first span only conditionally before rebinding.
+func rebindCond(tr *obs.Trace, c bool) {
+	span := tr.StartSpan("eval.step")
+	if c {
+		span.End()
+	}
+	span = tr.StartSpan("eval.next") /* want "rebound before the previous span was finished" */
+	span.End()
+}
+
+// blockLeak can fall out of the if-block with the span still open.
+func blockLeak(tr *obs.Trace, slow bool) int {
+	if slow {
+		ds := tr.StartSpan("serve.delay") /* want "may leak when its scope falls through" */
+		if work() > 0 {
+			ds.End()
+		}
+	}
+	return work()
+}
+
+// justifiedLeak intentionally leaves the span open on the error path for
+// the shutdown flusher, and says so.
+func justifiedLeak(tr *obs.Trace, fail bool) error {
+	span := tr.StartSpan("eval.load")
+	if fail {
+		//lint:spanfinish the shutdown hook flushes spans left open by aborted loads
+		return errFail
+	}
+	span.End()
+	return nil
+}

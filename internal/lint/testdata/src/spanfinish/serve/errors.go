@@ -1,0 +1,40 @@
+// Error-path half of the spanfinish fixture: serving error paths answer
+// through fail/shed helpers whose code argument names a registered
+// package-level constant.
+package serve
+
+import "net/http"
+
+const (
+	codeBadInput = "bad_input"
+	codeOverload = "overload"
+)
+
+type server struct{}
+
+// fail writes the structured JSON error answer.
+func (s *server) fail(w http.ResponseWriter, status int, code, msg string) {
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(code + ": " + msg))
+}
+
+// shed refuses a request at admission.
+func shed(w http.ResponseWriter, code string) {
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_, _ = w.Write([]byte(code))
+}
+
+func (s *server) handleThing(w http.ResponseWriter, bad bool) {
+	if bad {
+		s.fail(w, http.StatusBadRequest, codeBadInput, "bad input")
+		return
+	}
+	s.fail(w, http.StatusBadRequest, "bad_input", "literal spelling") /* want "spelled as a bare literal" */
+	s.fail(w, http.StatusNotFound, "mystery_code", "unregistered")    /* want "not a registered package-level code constant" */
+	http.Error(w, "nope", http.StatusInternalServerError)             /* want "bare http.Error bypasses the structured JSON error contract" */
+}
+
+func (s *server) handleLoad(w http.ResponseWriter) {
+	shed(w, codeOverload)
+	shed(w, "overload") /* want "spelled as a bare literal" */
+}

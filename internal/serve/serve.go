@@ -428,7 +428,7 @@ type errorResponse struct {
 // negative: a "Retry-After: 0" invites an immediate retry storm.
 func (s *Server) retryAfterSeconds(code string) int {
 	switch code {
-	case "draining":
+	case codeDraining:
 		return 1
 	case shedQueueFull:
 		if s.gate != nil && s.gate.queueCap() == 0 {
@@ -507,7 +507,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	qsrc := r.URL.Query().Get("q")
 	if qsrc == "" {
-		s.fail(w, http.StatusBadRequest, "missing_query", "", "missing q parameter")
+		s.fail(w, http.StatusBadRequest, codeMissingQuery, "", "missing q parameter")
 		return
 	}
 	tr := obs.NewTrace(qsrc)
@@ -515,7 +515,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	if s.draining.Load() {
 		s.mDrainShed.Inc()
-		s.shed(w, tr, "draining", "server is draining")
+		s.shed(w, tr, codeDraining, "server is draining")
 		return
 	}
 	if s.gate != nil {
@@ -534,7 +534,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	limit, err := s.resultLimit(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad_k", tr.IDString(), err.Error())
+		s.fail(w, http.StatusBadRequest, codeBadK, tr.IDString(), err.Error())
 		return
 	}
 	mode := r.URL.Query().Get("mode")
@@ -542,7 +542,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		mode = "approx"
 	}
 	if mode != "approx" && mode != "exact" {
-		s.fail(w, http.StatusBadRequest, "bad_mode", tr.IDString(),
+		s.fail(w, http.StatusBadRequest, codeBadMode, tr.IDString(),
 			fmt.Sprintf("mode must be approx or exact, got %q", mode))
 		return
 	}
@@ -551,14 +551,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	q, err := query.Parse(qsrc)
 	ps.End()
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "parse_error", tr.IDString(), fmt.Sprintf("parse: %v", err))
+		s.fail(w, http.StatusBadRequest, codeParseError, tr.IDString(), fmt.Sprintf("parse: %v", err))
 		return
 	}
 
 	sk, dsName, ok := s.lookup(r.URL.Query().Get("dataset"))
 	if !ok {
 		s.mNotFound.Inc()
-		s.fail(w, http.StatusNotFound, "unknown_dataset", tr.IDString(),
+		s.fail(w, http.StatusNotFound, codeUnknownDataset, tr.IDString(),
 			fmt.Sprintf("unknown dataset %q (have %v)", r.URL.Query().Get("dataset"), s.Datasets()))
 		return
 	}
@@ -597,7 +597,22 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			Limit:         limit,
 			Metrics:       s.reg,
 		})
-		sel = res.Selectivity()
+		if !res.Canceled {
+			sel = res.Selectivity()
+		}
+	}
+	if res.Canceled {
+		// The evaluation aborted at the request deadline with no usable
+		// synopsis; finishEstimate sees the expired ctx and no TopK block
+		// and answers the standard deadline 503 (the serveExact route for
+		// ExactResult.Canceled, applied to the approximate path).
+		s.finishEstimate(w, ctx, tr, EstimateResponse{
+			TraceID: tr.IDString(),
+			Dataset: dsName,
+			Mode:    mode,
+			Query:   q.String(),
+		})
+		return
 	}
 
 	es := tr.StartSpan("serve.emit")
@@ -627,7 +642,7 @@ func (s *Server) serveExact(w http.ResponseWriter, ctx context.Context, tr *obs.
 	ix, ok := (*s.ixCatalog.Load())[dsName]
 	if !ok {
 		s.mNotFound.Inc()
-		s.fail(w, http.StatusNotFound, "no_exact_index", tr.IDString(),
+		s.fail(w, http.StatusNotFound, codeNoExactIndex, tr.IDString(),
 			fmt.Sprintf("dataset %q has no document index (built from a synopsis only); exact mode needs -doc", dsName))
 		return
 	}
@@ -651,14 +666,14 @@ func (s *Server) serveExact(w http.ResponseWriter, ctx context.Context, tr *obs.
 		// which rejects it and truncates the body). The trace is shed-tagged
 		// so overload forensics see these alongside admission sheds.
 		s.mOverflow.Inc()
-		tr.SetLabel("shed", "tuple_overflow")
+		tr.SetLabel("shed", codeTupleOverflow)
 		tr.Finish()
 		if s.rec.Record(tr) {
 			s.mRetained.Inc()
 		}
 		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
 			Error:   res.Err().Error(),
-			Code:    "tuple_overflow",
+			Code:    codeTupleOverflow,
 			TraceID: tr.IDString(),
 		})
 		return
@@ -683,7 +698,7 @@ func (s *Server) serveExact(w http.ResponseWriter, ctx context.Context, tr *obs.
 				s.finishEstimate(w, ctx, tr, resp)
 				return
 			}
-			s.fail(w, http.StatusUnprocessableEntity, "result_too_large", tr.IDString(), err.Error())
+			s.fail(w, http.StatusUnprocessableEntity, codeResultTooLarge, tr.IDString(), err.Error())
 			return
 		}
 		resp.ResultNodes = nt.Size()
@@ -717,12 +732,12 @@ func (s *Server) finishEstimate(w http.ResponseWriter, ctx context.Context, tr *
 			s.mDeadlinePartial.Inc()
 		} else {
 			s.mDeadline.Inc()
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds("deadline_exceeded")))
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(codeDeadlineExceeded)))
 			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 				Error:             fmt.Sprintf("deadline exceeded after %s", total.Round(time.Microsecond)),
-				Code:              "deadline_exceeded",
+				Code:              codeDeadlineExceeded,
 				TraceID:           tr.IDString(),
-				RetryAfterSeconds: s.retryAfterSeconds("deadline_exceeded"),
+				RetryAfterSeconds: s.retryAfterSeconds(codeDeadlineExceeded),
 			})
 			return
 		}

@@ -414,3 +414,40 @@ func TestTopKResponseNonFinite(t *testing.T) {
 		t.Fatalf("finite masses = %+v, want both values with flags set", r)
 	}
 }
+
+// TestApproxModeDeadline503 pins batch-approx cancellation through the
+// serve path (the approximate twin of TestExactModeDeadline503): a request
+// deadline that expires during batch evaluation comes back as the standard
+// deadline 503 with the enumeration actually stopped — no partial synopsis
+// escapes as an answer — and the evaluator-side counter records the abort
+// in the server's own registry.
+func TestApproxModeDeadline503(t *testing.T) {
+	doc := xmltree.MustCompact("r(a(b(c),b,d),a(b),a,e(d,d))")
+	s := New(Options{Deadline: time.Nanosecond, Metrics: obs.NewRegistry()})
+	s.AddSketch("tiny", sketch.FromStable(stable.Build(doc)))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/estimate?dataset=tiny&q=" + urlQueryEscape("//a{//b?}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("approx-mode deadline status = %d, want 503", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("deadline body not JSON: %v", err)
+	}
+	if er.Code != codeDeadlineExceeded {
+		t.Fatalf("deadline code = %q, want %q", er.Code, codeDeadlineExceeded)
+	}
+	snap := s.Registry().Snapshot()
+	if n := snap.Counters["serve.http.deadline_exceeded"]; n != 1 {
+		t.Errorf("serve.http.deadline_exceeded = %d, want 1", n)
+	}
+	if n := snap.Counters["eval.approx.canceled"]; n < 1 {
+		t.Errorf("eval.approx.canceled = %d, want >= 1", n)
+	}
+}

@@ -70,7 +70,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		s.fail(w, http.StatusMethodNotAllowed, "method_not_allowed", "", "POST only")
+		s.fail(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "", "POST only")
 		return
 	}
 
@@ -85,7 +85,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 	if s.draining.Load() {
 		s.mDrainShed.Inc()
-		s.shed(w, tr, "draining", "server is draining")
+		s.shed(w, tr, codeDraining, "server is draining")
 		return
 	}
 	if s.gate != nil {
@@ -101,11 +101,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "parse_error", tr.IDString(), fmt.Sprintf("decode body: %v", err))
+		s.fail(w, http.StatusBadRequest, codeParseError, tr.IDString(), fmt.Sprintf("decode body: %v", err))
 		return
 	}
 	if req.Op != "insert" && req.Op != "delete" {
-		s.fail(w, http.StatusBadRequest, "bad_op", tr.IDString(),
+		s.fail(w, http.StatusBadRequest, codeBadOp, tr.IDString(),
 			fmt.Sprintf("op must be insert or delete, got %q", req.Op))
 		return
 	}
@@ -113,7 +113,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	st, dsName, ok := s.stackFor(req.Dataset)
 	if !ok {
 		s.mNotFound.Inc()
-		s.fail(w, http.StatusNotFound, "unknown_dataset", tr.IDString(),
+		s.fail(w, http.StatusNotFound, codeUnknownDataset, tr.IDString(),
 			fmt.Sprintf("no live dataset %q (static datasets cannot be updated; restart tsserve with -live)", req.Dataset))
 		return
 	}
@@ -135,7 +135,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			as.End()
-			s.fail(w, http.StatusBadRequest, "parse_error", tr.IDString(), fmt.Sprintf("subtree: %v", err))
+			s.fail(w, http.StatusBadRequest, codeParseError, tr.IDString(), fmt.Sprintf("subtree: %v", err))
 			return
 		}
 		oid, err = st.Insert(req.ParentOID, proto)
@@ -146,7 +146,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The stack refused the mutation (unknown OID, root delete): the
 		// request was well-formed but not applicable to the live document.
-		s.fail(w, http.StatusUnprocessableEntity, "update_rejected", tr.IDString(), err.Error())
+		s.fail(w, http.StatusUnprocessableEntity, codeUpdateRejected, tr.IDString(), err.Error())
 		return
 	}
 

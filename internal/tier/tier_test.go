@@ -1,6 +1,7 @@
 package tier
 
 import (
+	"context"
 	"testing"
 
 	"treesketch/internal/eval"
@@ -216,5 +217,32 @@ func TestStackTelemetryNamesClean(t *testing.T) {
 	st.Compact()
 	if errs := reg.NameErrors(); len(errs) != 0 {
 		t.Fatalf("metric name errors: %v", errs)
+	}
+}
+
+// TestStackEstimateContextCanceled pins cancellation through the tiered
+// view: an expired context cancels the merged estimate (no partial
+// base+delta arithmetic escapes as an answer), while a live context on the
+// same stack still merges normally.
+func TestStackEstimateContextCanceled(t *testing.T) {
+	st := mustStack(t, "r(a(b),a(b))", testOpts())
+	if _, err := st.Insert(st.Doc().Root.OID, xmltree.MustCompact("a(b,b)")); err != nil {
+		t.Fatal(err)
+	}
+	q := mustQuery(t, "//a/b")
+
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, sel, _ := st.EstimateContext(expired, q, eval.Options{})
+	if !res.Canceled {
+		t.Fatal("expired context did not cancel the tiered estimate")
+	}
+	if sel != 0 {
+		t.Fatalf("canceled estimate leaked selectivity %v, want 0", sel)
+	}
+
+	res, sel, _ = st.EstimateContext(t.Context(), q, eval.Options{})
+	if res.Canceled || sel != 4 {
+		t.Fatalf("live estimate after a canceled one: canceled=%v sel=%v, want 4", res.Canceled, sel)
 	}
 }

@@ -101,6 +101,10 @@ func newSegment(units []*unit) *segment {
 		}
 		return parent
 	}
+	// Bounded by construction: units come from one decoded update batch,
+	// whose size the serve layer caps before decoding (http.MaxBytesReader),
+	// so the whole build is proportional to an already-admitted request body.
+	//lint:ctxpoll unit batch and subtree sizes are bounded by the serve layer's request-body cap
 	for _, u := range units {
 		seg.elems += u.sign * u.elems
 		seg.absElems += u.elems
@@ -158,6 +162,7 @@ func graft(t *xmltree.Tree, parent, sub *xmltree.Node) {
 // copy's root (not yet attached to anything).
 func copyInto(t *xmltree.Tree, src *xmltree.Node) *xmltree.Node {
 	n := t.NewNode(src.Label)
+	//lint:ctxpoll subtree size is bounded by the serve layer's request-body cap
 	for _, c := range src.Children {
 		n.Children = append(n.Children, copyInto(t, c))
 	}
@@ -166,6 +171,7 @@ func copyInto(t *xmltree.Tree, src *xmltree.Node) *xmltree.Node {
 
 func countNodes(n *xmltree.Node) int {
 	total := 1
+	//lint:ctxpoll subtree size is bounded by the serve layer's request-body cap
 	for _, c := range n.Children {
 		total += countNodes(c)
 	}

@@ -85,6 +85,12 @@ func (v *View) CheckConservation() error {
 // evaluation; delta sketches are tiny and always evaluated in batch mode.
 func (v *View) EstimateContext(ctx context.Context, q *query.Query, opts eval.Options) (*eval.Result, float64, Info) {
 	res := eval.ApproxContext(ctx, v.Base, q, opts)
+	if res.Canceled {
+		// The base evaluation aborted at the deadline: there is no synopsis
+		// to merge deltas into, so skip the tier sweeps entirely and let the
+		// caller route the cancellation.
+		return res, 0, Info{DeltaElems: v.DeltaElems(), Tiers: v.Tiers(), Epoch: v.Epoch}
+	}
 	info := Info{
 		BaseSelectivity: res.Selectivity(),
 		DeltaElems:      v.DeltaElems(),
@@ -92,11 +98,21 @@ func (v *View) EstimateContext(ctx context.Context, q *query.Query, opts eval.Op
 		Epoch:           v.Epoch,
 	}
 	dopts := eval.Options{MaxEmbeddings: opts.MaxEmbeddings, Metrics: opts.Metrics}
+	canceled := false
 	sel := func(sk *sketch.Sketch) float64 {
-		if sk == nil {
+		if sk == nil || canceled {
 			return 0
 		}
-		return eval.ApproxContext(ctx, sk, q, dopts).Selectivity()
+		dres := eval.ApproxContext(ctx, sk, q, dopts)
+		if dres.Canceled {
+			// A canceled delta sweep poisons the merge: short-circuit the
+			// remaining sketches (each would just re-observe the same expired
+			// ctx) and cancel the whole estimate — a base answer missing its
+			// deltas would silently misreport a live dataset.
+			canceled = true
+			return 0
+		}
+		return dres.Selectivity()
 	}
 	for _, seg := range v.segments {
 		info.Delta += sel(seg.pos) - sel(seg.posSpine)
@@ -104,6 +120,10 @@ func (v *View) EstimateContext(ctx context.Context, q *query.Query, opts eval.Op
 	}
 	for _, u := range v.units {
 		info.Delta += float64(u.sign) * (sel(u.full) - sel(u.spine))
+	}
+	if canceled {
+		res.Canceled = true
+		return res, 0, info
 	}
 	merged := info.BaseSelectivity + info.Delta
 	if merged < 0 {

@@ -20,7 +20,11 @@ import (
 // timing) to the obs.Default registry; elements/sec is the elements counter
 // over the phase timer's total.
 func Parse(r io.Reader) (*Tree, error) {
+	// Deferred so every malformed-document return still closes the span;
+	// error paths therefore contribute their (short) durations to the phase
+	// timer, which is the honest accounting — the time was spent parsing.
 	span := obs.StartSpan("xmltree.parse")
+	defer span.End()
 	t := NewTree()
 	dec := xml.NewDecoder(bufio.NewReader(r))
 	var stack []*Node
@@ -62,7 +66,6 @@ func Parse(r io.Reader) (*Tree, error) {
 	if len(stack) != 0 {
 		return nil, fmt.Errorf("xmltree: parse: %d unclosed elements", len(stack))
 	}
-	span.End()
 	reg := obs.Default()
 	reg.Counter("xmltree.parse.docs").Inc()
 	reg.Counter("xmltree.parse.elements").Add(int64(t.Size()))

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"treesketch/internal/obs"
 )
 
 func TestParseBasicDocument(t *testing.T) {
@@ -187,5 +189,26 @@ func TestParseDeeplyNested(t *testing.T) {
 	}
 	if tr.Height() != depth-1 {
 		t.Fatalf("Height = %d, want %d", tr.Height(), depth-1)
+	}
+}
+
+// TestParseErrorPathFinishesSpan pins the spanfinish fix: Parse's phase
+// span must be closed on every malformed-document return, not just on
+// success, so the xmltree.parse timer's invocation count tracks attempts —
+// a leaked span would silently drop error-path durations and make the
+// phase timer disagree with the parse error rate.
+func TestParseErrorPathFinishesSpan(t *testing.T) {
+	count := func() int64 {
+		return obs.Default().Snapshot().Timers["xmltree.parse"].Count
+	}
+	for _, malformed := range []string{"", "<a><b></a>", "<a></a><b></b>", "</a>", "<a>"} {
+		before := count()
+		if _, err := ParseString(malformed); err == nil {
+			t.Fatalf("ParseString(%q) did not fail", malformed)
+		}
+		if got := count(); got != before+1 {
+			t.Fatalf("ParseString(%q): parse timer count %d -> %d, want +1 (span leaked on the error path)",
+				malformed, before, got)
+		}
 	}
 }
